@@ -1,0 +1,124 @@
+// Command vccmin-sim runs the paper's simulation experiments and prints
+// Figs. 8-12: per-benchmark normalized performance of word-disabling and
+// block-disabling (with and without victim caches) below and above
+// Vcc-min.
+//
+// Usage:
+//
+//	vccmin-sim                      # all five figures, default scale
+//	vccmin-sim -fig 8               # one figure
+//	vccmin-sim -pairs 50 -instructions 1000000   # paper-scale Monte Carlo
+//	vccmin-sim -benchmarks crafty,gzip,mcf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vccmin/internal/experiments"
+	"vccmin/internal/textplot"
+)
+
+func main() {
+	figFlag := flag.String("fig", "", "figure to run (8, 9, 10, 11, 12); empty = all")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset; empty = all 26")
+	pairs := flag.Int("pairs", 50, "random fault-map pairs per block-disable configuration")
+	instructions := flag.Int("instructions", 200_000, "instructions per simulation run")
+	pfail := flag.Float64("pfail", 0.001, "per-cell failure probability below Vcc-min")
+	seed := flag.Int64("seed", 1, "base random seed")
+	plot := flag.Bool("plot", true, "render terminal plots in addition to tables")
+	flag.Parse()
+
+	p := experiments.DefaultSimParams()
+	p.FaultPairs = *pairs
+	p.Instructions = *instructions
+	p.Pfail = *pfail
+	p.BaseSeed = *seed
+	if *benchmarks != "" {
+		p.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	want := map[string]bool{}
+	if *figFlag == "" {
+		for _, f := range []string{"8", "9", "10", "11", "12"} {
+			want[f] = true
+		}
+	} else {
+		want[*figFlag] = true
+	}
+
+	if want["8"] || want["9"] || want["10"] {
+		start := time.Now()
+		lv, err := experiments.RunLowVoltage(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "low-voltage experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("low-voltage Monte Carlo: %d benchmarks x %d pairs x %d instructions in %v\n",
+			len(p.Benchmarks), p.FaultPairs, p.Instructions, time.Since(start).Round(time.Millisecond))
+		if lv.WordDisableUnfit > 0 {
+			fmt.Printf("note: %d/%d fault pairs would make a word-disabled cache unusable (whole-cache failure)\n",
+				lv.WordDisableUnfit, p.FaultPairs)
+		}
+		if want["8"] {
+			printFigure(lv.Fig8(), *plot)
+		}
+		if want["9"] {
+			printFigure(lv.Fig9(), *plot)
+		}
+		if want["10"] {
+			printFigure(lv.Fig10(), *plot)
+		}
+	}
+	if want["11"] || want["12"] {
+		hv, err := experiments.RunHighVoltage(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "high-voltage experiments:", err)
+			os.Exit(1)
+		}
+		if want["11"] {
+			printFigure(hv.Fig11(), *plot)
+		}
+		if want["12"] {
+			printFigure(hv.Fig12(), *plot)
+		}
+	}
+}
+
+func printFigure(f experiments.Figure, plot bool) {
+	fmt.Printf("\n==== %s ====\n\n", f.Title)
+	fmt.Printf("%-10s", "benchmark")
+	for _, s := range f.Series {
+		fmt.Printf(" %26s", s)
+	}
+	fmt.Println()
+	for _, row := range f.Rows {
+		fmt.Printf("%-10s", row.Benchmark)
+		for _, v := range row.Values {
+			fmt.Printf(" %25.1f%%", 100*v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s", "AVERAGE")
+	for _, v := range f.Averages {
+		fmt.Printf(" %25.1f%%", 100*v)
+	}
+	fmt.Println()
+	for i, s := range f.Series {
+		fmt.Printf("  average %-30s loss: %.1f%%\n", s+":", 100*(1-f.Averages[i]))
+	}
+
+	if plot && len(f.Rows) > 0 {
+		labels := make([]string, len(f.Rows))
+		values := make([][]float64, len(f.Rows))
+		for i, row := range f.Rows {
+			labels[i] = row.Benchmark
+			values[i] = row.Values
+		}
+		fmt.Println()
+		fmt.Print(textplot.GroupedBar(textplot.Options{Width: 56}, labels, f.Series, values, 0.4, 1.1))
+	}
+}

@@ -1,0 +1,45 @@
+// DVFS explorer: walk the Fig. 1 voltage-scaling model from full speed
+// down into the below-Vcc-min region, showing at each operating point the
+// supply voltage, dynamic power, cell failure probability, expected cache
+// capacity under block-disabling, and the resulting performance estimate —
+// the paper's Figure 1(b) as a table.
+//
+//	go run ./examples/dvfs-explorer
+package main
+
+import (
+	"fmt"
+
+	"vccmin"
+)
+
+func main() {
+	m := vccmin.DefaultPowerModel()
+	g := vccmin.ReferenceGeometry()
+
+	fmt.Println("Operating points from full frequency down (normalized units):")
+	fmt.Printf("%6s %8s %8s %10s %10s %8s %12s\n",
+		"freq", "voltage", "power", "pfail", "capacity", "perf", "zone")
+	for _, p := range m.CurveBelowVccMin(20) {
+		if p.Freq == 0 {
+			continue
+		}
+		pf := m.Pfail(p.Voltage)
+		fmt.Printf("%6.2f %8.3f %8.3f %10.2e %9.1f%% %8.3f %12s\n",
+			p.Freq, p.Voltage, p.Power, pf,
+			100*vccmin.ExpectedBlockDisableCapacity(g, pf),
+			p.Performance, p.Zone)
+	}
+
+	fmt.Println("\nHow deep can the cache go?")
+	for _, pf := range []float64{1e-4, 1e-3, 2e-3, 5e-3} {
+		v := m.VoltageForPfail(pf)
+		fmt.Printf("  pfail %.0e tolerated -> V = %.3f, block-disable capacity %.1f%%, "+
+			"word-disable whole-cache failure %.1e\n",
+			pf, v, 100*vccmin.ExpectedBlockDisableCapacity(g, pf),
+			vccmin.WordDisableWholeCacheFailure(g, pf))
+	}
+
+	fmt.Println("\nThe low-voltage zone trades a sub-linear performance loss (disabled")
+	fmt.Println("cache blocks) for cubic power reduction — the paper's Fig. 1b.")
+}

@@ -1,0 +1,51 @@
+// Quickstart: the paper's analysis and one simulation in ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vccmin"
+)
+
+func main() {
+	g := vccmin.ReferenceGeometry()
+	fmt.Println("cache:", g)
+
+	// Section IV analysis: what does pfail = 0.001 do to this cache?
+	const pfail = 0.001
+	fmt.Printf("expected faults:          %.0f cells\n", pfail*float64(g.TotalCells()))
+	fmt.Printf("expected faulty blocks:   %.0f of %d (Eq. 1)\n",
+		vccmin.MeanFaultyBlocks(g, int(pfail*float64(g.TotalCells()))), g.Blocks())
+	fmt.Printf("block-disable capacity:   %.1f%% (Eq. 2)\n",
+		100*vccmin.ExpectedBlockDisableCapacity(g, pfail))
+	fmt.Printf("P[capacity > 50%%]:        %.4f (Eq. 3)\n",
+		vccmin.CapacityAtLeast(g, pfail, 0.5))
+	fmt.Printf("word-disable cache death: %.2e (Eqs. 4-5)\n",
+		vccmin.WordDisableWholeCacheFailure(g, pfail))
+
+	// One concrete fault map and what each scheme makes of it.
+	pair := vccmin.NewFaultPair(g, g, pfail, 42)
+	bd := vccmin.BuildBlockDisable(pair.D)
+	fmt.Printf("\nfault map seed 42: D-cache keeps %d/%d blocks (%.1f%%), word-disable fit: %v\n",
+		bd.EnabledBlocks(), g.Blocks(), 100*bd.CapacityFraction(), vccmin.WordDisableFit(pair.D))
+
+	// Simulate crafty below Vcc-min under three schemes.
+	fmt.Println("\ncrafty below Vcc-min (200k instructions):")
+	base := run(vccmin.SimOptions{Benchmark: "crafty", Mode: vccmin.LowVoltage})
+	wd := run(vccmin.SimOptions{Benchmark: "crafty", Mode: vccmin.LowVoltage, Scheme: vccmin.WordDisable})
+	bdr := run(vccmin.SimOptions{Benchmark: "crafty", Mode: vccmin.LowVoltage, Scheme: vccmin.BlockDisable, Victim: vccmin.Victim10T, Pair: pair})
+	fmt.Printf("  baseline:            IPC %.3f\n", base.IPC)
+	fmt.Printf("  word-disable:        IPC %.3f (%.1f%% of baseline)\n", wd.IPC, 100*wd.IPC/base.IPC)
+	fmt.Printf("  block-disable + V$:  IPC %.3f (%.1f%% of baseline)\n", bdr.IPC, 100*bdr.IPC/base.IPC)
+}
+
+func run(opts vccmin.SimOptions) vccmin.SimResult {
+	r, err := vccmin.RunSim(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

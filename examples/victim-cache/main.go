@@ -1,0 +1,68 @@
+// Victim-cache study: why a 16-entry victim cache makes block-disabling's
+// performance deterministic. Runs one conflict-sensitive benchmark over
+// many fault maps and shows the spread (average vs worst map) with and
+// without the victim cache — the mechanism behind Figs. 8-10.
+//
+//	go run ./examples/victim-cache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vccmin"
+)
+
+func main() {
+	const (
+		bench        = "gzip" // conflict-prone hot sets; a Fig. 8 min-case
+		trials       = 12
+		instructions = 120_000
+	)
+	g := vccmin.ReferenceGeometry()
+	base := run(vccmin.SimOptions{Benchmark: bench, Mode: vccmin.LowVoltage, Instructions: instructions})
+
+	fmt.Printf("%s below Vcc-min, %d random fault maps, normalized to baseline IPC %.3f\n\n",
+		bench, trials, base.IPC)
+	fmt.Printf("%-6s %10s %12s %14s %12s\n", "map", "capacity", "plain BD", "BD + V$ 10T", "V$ hit rate")
+
+	var sumP, sumV, minP, minV float64
+	minP, minV = 1, 1
+	for seed := int64(0); seed < trials; seed++ {
+		pair := vccmin.NewFaultPair(g, g, 0.001, 100+seed)
+		plain := run(vccmin.SimOptions{
+			Benchmark: bench, Mode: vccmin.LowVoltage, Scheme: vccmin.BlockDisable,
+			Pair: pair, Instructions: instructions,
+		})
+		withVC := run(vccmin.SimOptions{
+			Benchmark: bench, Mode: vccmin.LowVoltage, Scheme: vccmin.BlockDisable,
+			Victim: vccmin.Victim10T, Pair: pair, Instructions: instructions,
+		})
+		np, nv := plain.IPC/base.IPC, withVC.IPC/base.IPC
+		sumP += np
+		sumV += nv
+		if np < minP {
+			minP = np
+		}
+		if nv < minV {
+			minV = nv
+		}
+		fmt.Printf("%-6d %9.1f%% %11.1f%% %13.1f%% %11.1f%%\n",
+			seed, 100*plain.DCapacity, 100*np, 100*nv, 100*withVC.VictimHitRate)
+	}
+	fmt.Printf("\n%-6s %10s %11.1f%% %13.1f%%\n", "avg", "", 100*sumP/trials, 100*sumV/trials)
+	fmt.Printf("%-6s %10s %11.1f%% %13.1f%%\n", "min", "", 100*minP, 100*minV)
+	fmt.Printf("\nspread (avg - min): plain %.1fpp, with V$ %.1fpp\n",
+		100*(sumP/trials-minP), 100*(sumV/trials-minV))
+	fmt.Println("\nThe victim cache absorbs the overflow of sets that lost many ways to")
+	fmt.Println("faults, so the worst fault map performs nearly as well as the average —")
+	fmt.Println("the paper's 'higher and more deterministic performance'.")
+}
+
+func run(opts vccmin.SimOptions) vccmin.SimResult {
+	r, err := vccmin.RunSim(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

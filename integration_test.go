@@ -1,0 +1,170 @@
+package vccmin
+
+import (
+	"math"
+	"testing"
+
+	"vccmin/internal/faults"
+	"vccmin/internal/sim"
+)
+
+// TestEmptyFaultMapEqualsBaseline: block-disabling with a fault-free map
+// must be cycle-for-cycle identical to the baseline — the scheme's
+// "no overhead when there are no faults" property, end to end.
+func TestEmptyFaultMapEqualsBaseline(t *testing.T) {
+	g := ReferenceGeometry()
+	clean := &FaultPair{I: faults.NewEmpty(g, 32), D: faults.NewEmpty(g, 32)}
+	for _, bench := range []string{"crafty", "swim"} {
+		base, err := RunSim(SimOptions{Benchmark: bench, Mode: LowVoltage, Instructions: 40_000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, err := RunSim(SimOptions{Benchmark: bench, Mode: LowVoltage, Scheme: BlockDisable, Pair: clean, Instructions: 40_000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Stats != bd.Stats {
+			t.Errorf("%s: clean block-disable diverged from baseline: %+v vs %+v", bench, bd.Stats, base.Stats)
+		}
+	}
+}
+
+// TestCacheLatencyMonotonicity: raising the L1 latency must never raise
+// IPC — the property that makes word-disabling's alignment network a pure
+// cost.
+func TestCacheLatencyMonotonicity(t *testing.T) {
+	prev := math.Inf(1)
+	for _, lat := range []int{3, 4, 6} {
+		machine := sim.Reference(sim.LowVoltage)
+		machine.L1Latency = lat
+		r, err := RunSim(SimOptions{Benchmark: "gcc", Mode: LowVoltage, Machine: &machine, Instructions: 40_000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.IPC > prev+1e-12 {
+			t.Errorf("IPC rose when L1 latency grew to %d: %v > %v", lat, r.IPC, prev)
+		}
+		prev = r.IPC
+	}
+}
+
+// TestMemoryLatencyMonotonicity: slower memory must never help.
+func TestMemoryLatencyMonotonicity(t *testing.T) {
+	prev := math.Inf(1)
+	for _, lat := range []int{51, 128, 255} {
+		machine := sim.Reference(sim.LowVoltage)
+		machine.MemLatency = lat
+		r, err := RunSim(SimOptions{Benchmark: "mcf", Mode: LowVoltage, Machine: &machine, Instructions: 40_000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.IPC > prev+1e-12 {
+			t.Errorf("IPC rose when memory latency grew to %d: %v > %v", lat, r.IPC, prev)
+		}
+		prev = r.IPC
+	}
+}
+
+// TestMoreFaultsNeverHelp: as pfail grows, block-disabling keeps less
+// capacity and IPC falls (on the same benchmark and seed family).
+func TestMoreFaultsNeverHelp(t *testing.T) {
+	g := ReferenceGeometry()
+	prevIPC := math.Inf(1)
+	prevCap := 1.1
+	for _, pf := range []float64{0.0005, 0.001, 0.002, 0.004} {
+		pair := NewFaultPair(g, g, pf, 21)
+		r, err := RunSim(SimOptions{Benchmark: "vortex", Mode: LowVoltage, Scheme: BlockDisable, Pair: pair, Instructions: 40_000, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DCapacity > prevCap {
+			t.Errorf("capacity rose with pfail=%v: %v > %v", pf, r.DCapacity, prevCap)
+		}
+		if r.IPC > prevIPC*1.02 { // tiny tolerance: different maps shuffle sets
+			t.Errorf("IPC rose markedly with pfail=%v: %v > %v", pf, r.IPC, prevIPC)
+		}
+		prevIPC, prevCap = r.IPC, r.DCapacity
+	}
+}
+
+// TestWholeRepoHeadlineOrdering is the paper's conclusion as a test:
+// averaged across a benchmark sample, at low voltage
+// baseline > BD+V$ > BD > WD, and at high voltage BD == baseline > WD.
+func TestWholeRepoHeadlineOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ordering check is a longer run")
+	}
+	p := DefaultSimParams()
+	p.Benchmarks = []string{"crafty", "gzip", "mesa", "swim", "gcc", "eon"}
+	p.FaultPairs = 8
+	p.Instructions = 60_000
+	lv, err := RunLowVoltage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8 := lv.Fig8()
+	wd, bd, bdvc := f8.Averages[0], f8.Averages[1], f8.Averages[2]
+	if !(wd < bd && bd < bdvc && bdvc < 1) {
+		t.Errorf("low-voltage ordering violated: WD %v, BD %v, BD+V$ %v", wd, bd, bdvc)
+	}
+	// The headline: block-disabling with a victim cache beats
+	// word-disabling by a clear margin.
+	if bdvc/wd < 1.02 {
+		t.Errorf("BD+V$ should beat WD clearly: ratio %v", bdvc/wd)
+	}
+	hv, err := RunHighVoltage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11 := hv.Fig11()
+	if f11.Averages[1] != 1 {
+		t.Errorf("high-voltage block-disable average %v, want exactly 1", f11.Averages[1])
+	}
+	if f11.Averages[0] >= 1 {
+		t.Errorf("high-voltage word-disable average %v, want < 1", f11.Averages[0])
+	}
+}
+
+// TestClusteredFaultFacade covers the clustered fault-map facade.
+func TestClusteredFaultFacade(t *testing.T) {
+	g := ReferenceGeometry()
+	u := NewFaultMap(g, 0.002, 5)
+	c := NewClusteredFaultMap(g, 0.002, 8, 5)
+	if c.Total == 0 {
+		t.Fatal("clustered map empty")
+	}
+	if c.FaultyBlocks() >= u.FaultyBlocks() {
+		t.Errorf("clustered faults should hit fewer blocks: %d vs %d", c.FaultyBlocks(), u.FaultyBlocks())
+	}
+	if one := NewClusteredFaultMap(g, 0.001, 1, 9); one.Total == 0 {
+		t.Error("cluster size 1 should behave like the uniform model")
+	}
+}
+
+// TestWarmupChangesMeasurementNotState: with and without warmup the runs
+// are deterministic, and warmup removes the cold-start penalty.
+func TestWarmupChangesMeasurementNotState(t *testing.T) {
+	base := SimOptions{Benchmark: "gzip", Mode: LowVoltage, Instructions: 40_000, Seed: 4}
+	warm := base
+	warm.Warmup = 40_000
+	cold := base
+	cold.Warmup = -1
+	w, err := RunSim(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunSim(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.IPC <= c.IPC {
+		t.Errorf("warmed run should beat cold run: %v vs %v", w.IPC, c.IPC)
+	}
+	w2, err := RunSim(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats != w2.Stats {
+		t.Error("warmed runs not deterministic")
+	}
+}

@@ -1,0 +1,342 @@
+// Package cache implements the memory-hierarchy substrate of the
+// evaluation: set-associative write-back caches with true-LRU replacement,
+// per-set way-enable masks (block-disabling's variable associativity), an
+// optional fully-associative victim cache, an optional next-line
+// prefetcher, and a fixed-latency memory backing the chain.
+//
+// Timing model: Access returns the number of cycles until the requested
+// data is available, accumulated down the hierarchy (L1 hit latency + L2
+// latency on an L1 miss, and so on). Bandwidth and MSHR contention are not
+// modeled; the out-of-order core overlaps access latencies itself.
+package cache
+
+import (
+	"fmt"
+
+	"vccmin/internal/core"
+	"vccmin/internal/geom"
+)
+
+// Kind distinguishes access types for statistics.
+type Kind int
+
+const (
+	Read Kind = iota
+	Write
+	Fetch
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Fetch:
+		return "fetch"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Level is anything that can serve a block-granularity access and report
+// its latency in cycles.
+type Level interface {
+	Access(a geom.Addr, k Kind) int
+}
+
+// Memory is the fixed-latency end of the hierarchy.
+type Memory struct {
+	Latency  int
+	Accesses uint64
+}
+
+// Access implements Level.
+func (m *Memory) Access(a geom.Addr, k Kind) int {
+	m.Accesses++
+	return m.Latency
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	VictimHits uint64 // misses served by the victim cache
+	Bypasses   uint64 // accesses to sets with zero enabled ways
+	Evictions  uint64
+	Writebacks uint64
+	Prefetches uint64
+	PrefetchHits uint64 // demand hits on prefetched-but-unused lines
+}
+
+// MissRate returns misses/accesses (victim hits count as misses of the
+// main array but do not propagate downstream).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by prefetch, not yet demanded
+	stamp      uint64
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	Name       string
+	Geom       geom.Geometry
+	HitLatency int
+	Next       Level
+
+	// Enable is the per-set way mask from block-disabling; nil means all
+	// ways enabled (high voltage, or a fault-free array).
+	Enable *core.BlockDisableMap
+
+	// Victim, when non-nil, is probed on a miss and receives evictions.
+	Victim *VictimCache
+
+	// PrefetchNextLine fetches block+1 on every demand miss (the paper's
+	// future-work interaction for small block sizes).
+	PrefetchNextLine bool
+
+	Stats Stats
+
+	sets  [][]line
+	clock uint64
+}
+
+// New builds a cache level. next must not be nil.
+func New(name string, g geom.Geometry, hitLatency int, next Level) (*Cache, error) {
+	if err := g.Check(); err != nil {
+		return nil, fmt.Errorf("cache %s: %w", name, err)
+	}
+	if hitLatency <= 0 {
+		return nil, fmt.Errorf("cache %s: hit latency %d must be positive", name, hitLatency)
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cache %s: next level must not be nil", name)
+	}
+	c := &Cache{Name: name, Geom: g, HitLatency: hitLatency, Next: next}
+	c.sets = make([][]line, g.Sets())
+	store := make([]line, g.Sets()*g.Ways)
+	for i := range c.sets {
+		c.sets[i], store = store[:g.Ways], store[g.Ways:]
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed configurations.
+func MustNew(name string, g geom.Geometry, hitLatency int, next Level) *Cache {
+	c, err := New(name, g, hitLatency, next)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// enabled reports whether (set, way) may hold data.
+func (c *Cache) enabled(set, way int) bool {
+	return c.Enable == nil || c.Enable.Enabled(set, way)
+}
+
+// enabledWays returns the number of allocatable ways in set.
+func (c *Cache) enabledWays(set int) int {
+	if c.Enable == nil {
+		return c.Geom.Ways
+	}
+	return c.Enable.Sets[set].Count()
+}
+
+// Access implements Level: it returns the cycles until data for a is
+// available, recursing into the victim cache and the next level on a miss.
+func (c *Cache) Access(a geom.Addr, k Kind) int {
+	c.Stats.Accesses++
+	c.clock++
+	set := c.Geom.SetOf(a)
+	tag := c.Geom.TagOf(a)
+	ways := c.sets[set]
+
+	// Probe the enabled ways.
+	for w := range ways {
+		l := &ways[w]
+		if l.valid && l.tag == tag && c.enabled(set, w) {
+			c.Stats.Hits++
+			if l.prefetched {
+				c.Stats.PrefetchHits++
+				l.prefetched = false
+			}
+			l.stamp = c.clock
+			if k == Write {
+				l.dirty = true
+			}
+			return c.HitLatency
+		}
+	}
+
+	// Miss in the main array: try the victim cache.
+	c.Stats.Misses++
+	if c.Victim != nil {
+		if vl, ok := c.Victim.Probe(a); ok {
+			c.Stats.VictimHits++
+			// Swap: the victim line returns to the main array (if the set
+			// has an enabled frame), displacing a line into the V$.
+			c.insert(set, tag, vl.dirty || k == Write, false)
+			return c.HitLatency + c.Victim.Latency
+		}
+	}
+
+	// Fetch from the next level.
+	latency := c.HitLatency + c.Next.Access(a, missKind(k))
+	c.insert(set, tag, k == Write, false)
+
+	if c.PrefetchNextLine {
+		c.prefetch(a + geom.Addr(c.Geom.BlockBytes))
+	}
+	return latency
+}
+
+// missKind maps the access kind propagated downstream on a miss: a write
+// miss allocates with a read-for-ownership.
+func missKind(k Kind) Kind {
+	if k == Write {
+		return Read
+	}
+	return k
+}
+
+// prefetch brings addr's block into the cache without charging latency to
+// the triggering access. The downstream access is still counted there.
+func (c *Cache) prefetch(a geom.Addr) {
+	set := c.Geom.SetOf(a)
+	tag := c.Geom.TagOf(a)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag && c.enabled(set, w) {
+			return // already present
+		}
+	}
+	c.Stats.Prefetches++
+	c.Next.Access(a, Read)
+	c.insert(set, tag, false, true)
+}
+
+// insert places a block into set, evicting as needed. If the set has no
+// enabled ways, the block goes straight to the victim cache when present,
+// and is dropped otherwise (bypass).
+func (c *Cache) insert(set int, tag uint64, dirty, prefetched bool) {
+	if c.enabledWays(set) == 0 {
+		c.Stats.Bypasses++
+		if c.Victim != nil {
+			c.Victim.Insert(c.rebuildAddr(set, tag), dirty)
+		}
+		return
+	}
+	ways := c.sets[set]
+	victim := -1
+	var oldest uint64
+	for w := range ways {
+		if !c.enabled(set, w) {
+			continue
+		}
+		l := &ways[w]
+		if !l.valid {
+			victim = w
+			break
+		}
+		if victim == -1 || l.stamp < oldest {
+			victim, oldest = w, l.stamp
+		}
+	}
+	l := &ways[victim]
+	if l.valid {
+		c.Stats.Evictions++
+		if c.Victim != nil {
+			c.Victim.Insert(c.rebuildAddr(set, l.tag), l.dirty)
+		} else if l.dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	*l = line{tag: tag, valid: true, dirty: dirty, prefetched: prefetched, stamp: c.clock}
+}
+
+// rebuildAddr reconstructs a block address from its set and tag.
+func (c *Cache) rebuildAddr(set int, tag uint64) geom.Addr {
+	return geom.Addr(tag)<<uint(c.Geom.IndexBits()+c.Geom.OffsetBits()) |
+		geom.Addr(set)<<uint(c.Geom.OffsetBits())
+}
+
+// Contains reports whether addr's block is present in an enabled way —
+// used by tests and invariant checks, not the access path.
+func (c *Cache) Contains(a geom.Addr) bool {
+	set := c.Geom.SetOf(a)
+	tag := c.Geom.TagOf(a)
+	for w, l := range c.sets[set] {
+		if l.valid && l.tag == tag && c.enabled(set, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidLines returns the number of valid lines in enabled ways.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for set := range c.sets {
+		for w, l := range c.sets[set] {
+			if l.valid && c.enabled(set, w) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResetStats clears the counters while keeping cache contents — used at
+// the end of a warmup phase.
+func (c *Cache) ResetStats() {
+	c.Stats = Stats{}
+	if c.Victim != nil {
+		c.Victim.ResetStats()
+	}
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for set := range c.sets {
+		for w := range c.sets[set] {
+			c.sets[set][w] = line{}
+		}
+	}
+	c.Stats = Stats{}
+	c.clock = 0
+	if c.Victim != nil {
+		c.Victim.Reset()
+	}
+}
+
+// CheckInvariants verifies structural invariants: no duplicate tags within
+// a set's enabled ways, and no valid data in disabled ways. Tests call it.
+func (c *Cache) CheckInvariants() error {
+	for set := range c.sets {
+		seen := map[uint64]bool{}
+		for w, l := range c.sets[set] {
+			if !l.valid {
+				continue
+			}
+			if !c.enabled(set, w) {
+				return fmt.Errorf("cache %s: set %d way %d disabled but valid", c.Name, set, w)
+			}
+			if seen[l.tag] {
+				return fmt.Errorf("cache %s: set %d holds tag %#x twice", c.Name, set, l.tag)
+			}
+			seen[l.tag] = true
+		}
+	}
+	return nil
+}

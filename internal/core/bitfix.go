@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"vccmin/internal/faults"
+	"vccmin/internal/geom"
+)
+
+// BitFixConfig fixes the bit-fix scheme's parameters (Section II's other
+// mechanism, analyzed here with the paper's Section IV methodology). A
+// data line is divided into fix groups of PairsPerGroup 2-bit pairs, each
+// repairing at most RepairsPerGroup defective pairs; a quarter of the
+// ways store the fix bits, and the merging logic adds latency.
+type BitFixConfig struct {
+	PairsPerGroup      int
+	RepairsPerGroup    int
+	ExtraLatencyCycles int
+}
+
+// ReferenceBitFix returns a bit-fix configuration in the spirit of
+// Wilkerson et al.: one repair per 16-bit group, two extra cycles for the
+// patching network.
+func ReferenceBitFix() BitFixConfig {
+	return BitFixConfig{PairsPerGroup: 8, RepairsPerGroup: 1, ExtraLatencyCycles: 2}
+}
+
+// BitFixResult classifies a fault map for the bit-fix scheme.
+type BitFixResult struct {
+	Fit            bool
+	FailedGroups   int
+	TotalGroups    int
+	LowVoltageWays int           // ways left for data (3/4 of the array)
+	LowVoltageGeom geom.Geometry // the 75%-capacity configuration
+}
+
+// EvaluateBitFix checks every fix group of every line: more than
+// RepairsPerGroup faulty pairs in any group is a whole-cache failure. Tag
+// faults are ignored (robust-cell tag array, as for word-disabling).
+func EvaluateBitFix(m *faults.Map, cfg BitFixConfig) BitFixResult {
+	g := m.Geom
+	groupsPerLine := g.DataBits() / 2 / cfg.PairsPerGroup
+	res := BitFixResult{Fit: true, TotalGroups: g.Blocks() * groupsPerLine}
+	for set := 0; set < g.Sets(); set++ {
+		for way := 0; way < g.Ways; way++ {
+			b := m.At(set, way)
+			for grp := 0; grp < groupsPerLine; grp++ {
+				if b.FaultyPairsIn(grp*cfg.PairsPerGroup, cfg.PairsPerGroup) > cfg.RepairsPerGroup {
+					res.Fit = false
+					res.FailedGroups++
+				}
+			}
+		}
+	}
+	res.LowVoltageWays = g.Ways * 3 / 4
+	lv := g
+	lv.SizeBytes = g.SizeBytes * 3 / 4
+	lv.Ways = res.LowVoltageWays
+	res.LowVoltageGeom = lv
+	return res
+}
+
+// String summarizes the result.
+func (r BitFixResult) String() string {
+	return fmt.Sprintf("bit-fix: fit=%v (%d/%d groups failed), low-voltage %v",
+		r.Fit, r.FailedGroups, r.TotalGroups, r.LowVoltageGeom)
+}

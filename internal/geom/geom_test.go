@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReferenceGeometry(t *testing.T) {
+	g := MustNew(32*1024, 8, 64)
+	if got := g.Sets(); got != 64 {
+		t.Errorf("Sets() = %d, want 64", got)
+	}
+	if got := g.Blocks(); got != 512 {
+		t.Errorf("Blocks() = %d, want 512", got)
+	}
+	if got := g.OffsetBits(); got != 6 {
+		t.Errorf("OffsetBits() = %d, want 6", got)
+	}
+	if got := g.IndexBits(); got != 6 {
+		t.Errorf("IndexBits() = %d, want 6", got)
+	}
+	if got := g.TagBits(); got != 24 {
+		t.Errorf("TagBits() = %d, want 24 (paper Table I)", got)
+	}
+	if got := g.CellsPerBlock(); got != 537 {
+		t.Errorf("CellsPerBlock() = %d, want 537 (paper Section IV.A)", got)
+	}
+	if got := g.TotalCells(); got != 274944 {
+		t.Errorf("TotalCells() = %d, want 274944 (paper Section IV.A)", got)
+	}
+}
+
+func TestBlockSizeVariants(t *testing.T) {
+	// Fig. 6 keeps size and associativity constant while varying block size.
+	cases := []struct {
+		blockBytes, wantSets, wantBlocks int
+	}{
+		{32, 128, 1024},
+		{64, 64, 512},
+		{128, 32, 256},
+	}
+	for _, c := range cases {
+		g := MustNew(32*1024, 8, c.blockBytes)
+		if g.Sets() != c.wantSets {
+			t.Errorf("block %dB: Sets() = %d, want %d", c.blockBytes, g.Sets(), c.wantSets)
+		}
+		if g.Blocks() != c.wantBlocks {
+			t.Errorf("block %dB: Blocks() = %d, want %d", c.blockBytes, g.Blocks(), c.wantBlocks)
+		}
+	}
+}
+
+func TestInvalidGeometries(t *testing.T) {
+	bad := []Geometry{
+		{SizeBytes: 0, Ways: 8, BlockBytes: 64, AddrBits: 36, ValidBits: 1},
+		{SizeBytes: 32768, Ways: 0, BlockBytes: 64, AddrBits: 36, ValidBits: 1},
+		{SizeBytes: 32768, Ways: 8, BlockBytes: 60, AddrBits: 36, ValidBits: 1},
+		{SizeBytes: 32768, Ways: 7, BlockBytes: 64, AddrBits: 36, ValidBits: 1},
+		{SizeBytes: 32768, Ways: 8, BlockBytes: 64, AddrBits: 12, ValidBits: 1},
+		{SizeBytes: 32768, Ways: 8, BlockBytes: 64, AddrBits: 36, ValidBits: -1},
+	}
+	for i, g := range bad {
+		if err := g.Check(); err == nil {
+			t.Errorf("case %d: Check() accepted invalid geometry %+v", i, g)
+		}
+	}
+}
+
+func TestAddressFieldsRoundTrip(t *testing.T) {
+	g := MustNew(32*1024, 8, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Addr(rng.Uint64() & (1<<36 - 1))
+		set := g.SetOf(a)
+		tag := g.TagOf(a)
+		off := g.OffsetOf(a)
+		rebuilt := Addr(tag)<<uint(g.IndexBits()+g.OffsetBits()) |
+			Addr(set)<<uint(g.OffsetBits()) | Addr(off)
+		if rebuilt != a {
+			t.Fatalf("round trip failed: addr %#x rebuilt %#x (set %d tag %#x off %d)", a, rebuilt, set, tag, off)
+		}
+	}
+}
+
+func TestBlockAddrAlignment(t *testing.T) {
+	g := MustNew(32*1024, 8, 64)
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		ba := g.BlockAddr(a)
+		return ba%Addr(g.BlockBytes) == 0 && // aligned
+			ba <= a && a-ba < Addr(g.BlockBytes) && // within same block
+			g.SetOf(ba) == g.SetOf(a) && g.TagOf(ba) == g.TagOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetOfUniformCoverage(t *testing.T) {
+	// Consecutive block addresses should walk all sets round-robin.
+	g := MustNew(32*1024, 8, 64)
+	seen := make(map[int]bool)
+	for i := 0; i < g.Sets(); i++ {
+		seen[g.SetOf(Addr(i*g.BlockBytes))] = true
+	}
+	if len(seen) != g.Sets() {
+		t.Errorf("consecutive blocks touched %d distinct sets, want %d", len(seen), g.Sets())
+	}
+}
+
+func TestBlockIndexBounds(t *testing.T) {
+	g := MustNew(32*1024, 8, 64)
+	f := func(rawSet, rawWay uint16) bool {
+		set := int(rawSet) % g.Sets()
+		way := int(rawWay) % g.Ways
+		idx := g.BlockIndex(set, way)
+		return idx >= 0 && idx < g.Blocks()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	g := MustNew(32*1024, 8, 64)
+	want := "32KB 8-way 64B/block (64 sets, 24-bit tag)"
+	if got := g.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,83 @@
+package overhead
+
+import "testing"
+
+// TestTableITotals pins every Total in Table I of the paper.
+func TestTableITotals(t *testing.T) {
+	want := map[Scheme]int{
+		Baseline:          76800,
+		BaselineVC:        126138,
+		WordDisable:       209920,
+		BlockDisable:      81920,
+		BlockDisableVC10T: 164150,
+		BlockDisableVC6T:  131418,
+	}
+	p := ReferenceParams()
+	for _, row := range TableI(p) {
+		if got := row.Total; got != want[row.Scheme] {
+			t.Errorf("%s: total = %d transistors, want %d", row.Scheme, got, want[row.Scheme])
+		}
+	}
+}
+
+func TestTableIStructure(t *testing.T) {
+	p := ReferenceParams()
+	rows := TableI(p)
+	if len(rows) != 6 {
+		t.Fatalf("TableI has %d rows, want 6", len(rows))
+	}
+	for _, row := range rows {
+		if row.Total != row.TagTransistors+row.DisableTransistors+row.VictimTransistors {
+			t.Errorf("%s: total %d != sum of parts", row.Scheme, row.Total)
+		}
+		if row.AlignmentNetwork != (row.Scheme == WordDisable) {
+			t.Errorf("%s: alignment network flag wrong", row.Scheme)
+		}
+	}
+}
+
+func TestBlockDisableCheapestLowVoltageScheme(t *testing.T) {
+	// "It is evident that in all cases block-disabling has lower overhead."
+	p := ReferenceParams()
+	bd := RowFor(BlockDisable, p).Total
+	wd := RowFor(WordDisable, p).Total
+	if bd >= wd {
+		t.Errorf("block disable (%d) should cost less than word disable (%d)", bd, wd)
+	}
+	bdVC := RowFor(BlockDisableVC10T, p).Total
+	if bdVC >= wd {
+		t.Errorf("block disable + 10T V$ (%d) should still cost less than word disable (%d)", bdVC, wd)
+	}
+}
+
+func TestRelativeIncrease(t *testing.T) {
+	// "an overall cache increase of 0.4% ... smaller by more than an order
+	// of magnitude than what is required by word-disabling (0.4% vs 10%)."
+	p := ReferenceParams()
+	bd := RelativeCacheIncrease(BlockDisable, p)
+	wd := RelativeCacheIncrease(WordDisable, p)
+	if bd < 0.002 || bd > 0.006 {
+		t.Errorf("block disable relative increase = %v, want ≈0.004", bd)
+	}
+	if wd < 0.08 || wd > 0.16 {
+		t.Errorf("word disable relative increase = %v, want ≈0.10", wd)
+	}
+	if wd/bd < 10 {
+		t.Errorf("word/block overhead ratio = %v, want > 10x", wd/bd)
+	}
+	if got := RelativeCacheIncrease(Baseline, p); got != 0 {
+		t.Errorf("baseline relative increase = %v, want 0", got)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Baseline.String() != "Baseline" {
+		t.Errorf("Baseline.String() = %q", Baseline.String())
+	}
+	if Scheme(99).String() != "Scheme(99)" {
+		t.Errorf("unknown scheme String() = %q", Scheme(99).String())
+	}
+	if len(Schemes()) != 6 {
+		t.Errorf("Schemes() returned %d entries, want 6", len(Schemes()))
+	}
+}

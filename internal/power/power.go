@@ -1,0 +1,216 @@
+// Package power models dynamic voltage scaling around Vcc-min, reproducing
+// the illustrative Fig. 1 of the paper: normalized voltage, dynamic power
+// (P = C·V²·F) and performance versus normalized frequency, with and
+// without operation below Vcc-min, plus an exponential cell-failure model
+// pfail(V) in the spirit of Kulkarni et al. that couples low voltage to
+// cache capacity loss.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"vccmin/internal/prob"
+)
+
+// Zone classifies a point on the voltage-scaling curve (Fig. 1b).
+type Zone int
+
+const (
+	// ZoneCubic is at or above Vcc-min with voltage still scaling: power
+	// falls cubically with frequency.
+	ZoneCubic Zone = iota
+	// ZoneLowVoltage is below Vcc-min with voltage still scaling: cubic
+	// power reduction but sub-linear performance (cache capacity loss).
+	ZoneLowVoltage
+	// ZoneLinear is at the voltage floor: only frequency scales, so power
+	// falls linearly.
+	ZoneLinear
+)
+
+// String implements fmt.Stringer.
+func (z Zone) String() string {
+	switch z {
+	case ZoneCubic:
+		return "cubic"
+	case ZoneLowVoltage:
+		return "low-voltage"
+	case ZoneLinear:
+		return "linear"
+	}
+	return fmt.Sprintf("Zone(%d)", int(z))
+}
+
+// Model holds the normalized DVS parameters. All voltages and frequencies
+// are normalized to their maxima.
+type Model struct {
+	VIdle  float64 // voltage intercept of the linear V(f) relation at f=0
+	VccMin float64 // minimum voltage for fully reliable operation
+	VFloor float64 // lowest voltage reachable when operating below Vcc-min
+
+	// Cell failure model: Pfail(V) = PfailAtVccMin * exp((VccMin-V)/PfailEFold).
+	PfailAtVccMin float64
+	PfailEFold    float64 // volts (normalized) per e-fold of pfail growth
+
+	// Cache coupling for the below-Vcc-min performance estimate.
+	CellsPerBlock  int     // k of the L1 geometry
+	PerfLossFactor float64 // fractional IPC loss per fraction of disabled blocks
+}
+
+// Default returns the model used for the Fig. 1 reproduction: Vcc-min at
+// 0.7 (normalized), voltage floor 0.5, pfail crossing 1e-3 partway into the
+// low-voltage zone, and the IPC sensitivity observed in the paper's own
+// results (≈42% capacity loss → ≈8% IPC loss for block disabling).
+func Default() Model {
+	return Model{
+		VIdle:          0.3,
+		VccMin:         0.7,
+		VFloor:         0.5,
+		PfailAtVccMin:  1e-7,
+		PfailEFold:     0.0217, // pfail reaches 1e-3 at V ≈ 0.5
+		CellsPerBlock:  537,
+		PerfLossFactor: 0.2,
+	}
+}
+
+// Check validates the model.
+func (m Model) Check() error {
+	switch {
+	case !(0 <= m.VIdle && m.VIdle < m.VFloor && m.VFloor < m.VccMin && m.VccMin <= 1):
+		return fmt.Errorf("power: need 0 <= VIdle < VFloor < VccMin <= 1, got %v < %v < %v", m.VIdle, m.VFloor, m.VccMin)
+	case m.PfailAtVccMin <= 0 || m.PfailAtVccMin >= 1:
+		return fmt.Errorf("power: PfailAtVccMin %v out of (0,1)", m.PfailAtVccMin)
+	case m.PfailEFold <= 0:
+		return fmt.Errorf("power: PfailEFold must be positive, got %v", m.PfailEFold)
+	case m.CellsPerBlock <= 0:
+		return fmt.Errorf("power: CellsPerBlock must be positive, got %d", m.CellsPerBlock)
+	case m.PerfLossFactor < 0 || m.PerfLossFactor > 1:
+		return fmt.Errorf("power: PerfLossFactor %v out of [0,1]", m.PerfLossFactor)
+	}
+	return nil
+}
+
+// VoltageForFreq returns the supply voltage the circuit needs to run at
+// normalized frequency f: the standard linearized alpha-power relation
+// V(f) = VIdle + (1-VIdle)·f.
+func (m Model) VoltageForFreq(f float64) float64 {
+	return m.VIdle + (1-m.VIdle)*clamp01(f)
+}
+
+// FreqForVoltage inverts VoltageForFreq.
+func (m Model) FreqForVoltage(v float64) float64 {
+	return clamp01((v - m.VIdle) / (1 - m.VIdle))
+}
+
+// FreqAtVccMin returns the frequency at which voltage scaling reaches
+// Vcc-min — the boundary between the cubic and the lower zones.
+func (m Model) FreqAtVccMin() float64 { return m.FreqForVoltage(m.VccMin) }
+
+// FreqAtVFloor returns the frequency at which voltage scaling reaches the
+// floor voltage — the boundary between the low-voltage and linear zones.
+func (m Model) FreqAtVFloor() float64 { return m.FreqForVoltage(m.VFloor) }
+
+// Pfail returns the per-cell failure probability at voltage v: negligible
+// at or above Vcc-min, exponentially growing below it.
+func (m Model) Pfail(v float64) float64 {
+	if v >= m.VccMin {
+		return m.PfailAtVccMin
+	}
+	p := m.PfailAtVccMin * math.Exp((m.VccMin-v)/m.PfailEFold)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// CapacityAt returns the expected block-disable cache capacity fraction at
+// voltage v (Eq. 2 applied to Pfail(v)).
+func (m Model) CapacityAt(v float64) float64 {
+	return prob.ExpectedCapacity(m.CellsPerBlock, m.Pfail(v))
+}
+
+// Point is one sample of the normalized scaling curves.
+type Point struct {
+	Freq        float64
+	Voltage     float64
+	Power       float64 // normalized dynamic power V²·F
+	Performance float64 // normalized performance
+	Zone        Zone
+}
+
+// CurveClassic samples Fig. 1a: voltage scaling that stops at Vcc-min.
+// Below FreqAtVccMin the voltage is pinned and power falls only linearly;
+// performance is the paper's illustrative linear-in-frequency assumption.
+func (m Model) CurveClassic(n int) []Point {
+	pts := make([]Point, 0, n+1)
+	fcut := m.FreqAtVccMin()
+	for i := 0; i <= n; i++ {
+		f := float64(i) / float64(n)
+		p := Point{Freq: f, Performance: f}
+		if f >= fcut {
+			p.Voltage = m.VoltageForFreq(f)
+			p.Zone = ZoneCubic
+		} else {
+			p.Voltage = m.VccMin
+			p.Zone = ZoneLinear
+		}
+		p.Power = p.Voltage * p.Voltage * f
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// CurveBelowVccMin samples Fig. 1b: voltage keeps scaling below Vcc-min
+// down to VFloor, opening a low-voltage zone with cubic power reduction but
+// sub-linear performance, because growing pfail disables growing fractions
+// of the cache (modeled through PerfLossFactor).
+func (m Model) CurveBelowVccMin(n int) []Point {
+	pts := make([]Point, 0, n+1)
+	fcut, ffloor := m.FreqAtVccMin(), m.FreqAtVFloor()
+	for i := 0; i <= n; i++ {
+		f := float64(i) / float64(n)
+		var p Point
+		p.Freq = f
+		switch {
+		case f >= fcut:
+			p.Voltage = m.VoltageForFreq(f)
+			p.Zone = ZoneCubic
+		case f >= ffloor:
+			p.Voltage = m.VoltageForFreq(f)
+			p.Zone = ZoneLowVoltage
+		default:
+			p.Voltage = m.VFloor
+			p.Zone = ZoneLinear
+		}
+		if p.Zone == ZoneCubic {
+			// At or above Vcc-min every cell is reliable: no capacity loss.
+			p.Performance = f
+		} else {
+			capLoss := 1 - m.CapacityAt(p.Voltage)
+			p.Performance = f * (1 - m.PerfLossFactor*capLoss)
+		}
+		p.Power = p.Voltage * p.Voltage * f
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// VoltageForPfail returns the voltage at which the failure model reaches
+// the target pfail — how deep below Vcc-min a given fault budget lets the
+// cache operate.
+func (m Model) VoltageForPfail(target float64) float64 {
+	if target <= m.PfailAtVccMin {
+		return m.VccMin
+	}
+	return m.VccMin - m.PfailEFold*math.Log(target/m.PfailAtVccMin)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

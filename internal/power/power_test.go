@@ -1,0 +1,187 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := Default().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		func() Model { m := Default(); m.VccMin = 0.2; return m }(),         // VccMin below floor
+		func() Model { m := Default(); m.VFloor = 0.1; return m }(),         // floor below idle
+		func() Model { m := Default(); m.PfailAtVccMin = 0; return m }(),    // degenerate pfail
+		func() Model { m := Default(); m.PfailEFold = -1; return m }(),      // negative slope
+		func() Model { m := Default(); m.CellsPerBlock = 0; return m }(),    // no cells
+		func() Model { m := Default(); m.PerfLossFactor = 2; return m }(),   // loss > 1
+	}
+	for i, m := range bad {
+		if err := m.Check(); err == nil {
+			t.Errorf("case %d: Check accepted invalid model %+v", i, m)
+		}
+	}
+}
+
+func TestVoltageFreqInverse(t *testing.T) {
+	m := Default()
+	for f := 0.0; f <= 1.0; f += 0.05 {
+		v := m.VoltageForFreq(f)
+		if got := m.FreqForVoltage(v); math.Abs(got-f) > 1e-12 {
+			t.Errorf("FreqForVoltage(VoltageForFreq(%v)) = %v", f, got)
+		}
+	}
+}
+
+func TestZoneBoundaries(t *testing.T) {
+	m := Default()
+	fcut, ffloor := m.FreqAtVccMin(), m.FreqAtVFloor()
+	if !(0 < ffloor && ffloor < fcut && fcut < 1) {
+		t.Fatalf("expected 0 < ffloor (%v) < fcut (%v) < 1", ffloor, fcut)
+	}
+	pts := m.CurveBelowVccMin(100)
+	for _, p := range pts {
+		switch {
+		case p.Freq > fcut+1e-9:
+			if p.Zone != ZoneCubic {
+				t.Errorf("f=%v: zone %v, want cubic", p.Freq, p.Zone)
+			}
+		case p.Freq > ffloor+1e-9 && p.Freq < fcut-1e-9:
+			if p.Zone != ZoneLowVoltage {
+				t.Errorf("f=%v: zone %v, want low-voltage", p.Freq, p.Zone)
+			}
+		case p.Freq < ffloor-1e-9:
+			if p.Zone != ZoneLinear {
+				t.Errorf("f=%v: zone %v, want linear", p.Freq, p.Zone)
+			}
+		}
+	}
+}
+
+func TestClassicCurveHasNoLowVoltageZone(t *testing.T) {
+	m := Default()
+	for _, p := range m.CurveClassic(100) {
+		if p.Zone == ZoneLowVoltage {
+			t.Fatalf("classic DVS curve must not contain a low-voltage zone (f=%v)", p.Freq)
+		}
+		if p.Voltage < m.VccMin-1e-12 {
+			t.Fatalf("classic DVS curve dipped below Vcc-min: V=%v at f=%v", p.Voltage, p.Freq)
+		}
+		if math.Abs(p.Performance-p.Freq) > 1e-12 {
+			t.Fatalf("classic curve performance should be linear in frequency")
+		}
+	}
+}
+
+func TestBelowVccMinExtendsCubicRegion(t *testing.T) {
+	// The whole point of the paper: at the same frequency inside the
+	// low-voltage zone, operating below Vcc-min burns less power.
+	m := Default()
+	classic := m.CurveClassic(200)
+	below := m.CurveBelowVccMin(200)
+	fcut, ffloor := m.FreqAtVccMin(), m.FreqAtVFloor()
+	foundSaving := false
+	for i := range classic {
+		f := classic[i].Freq
+		if f > ffloor && f < fcut {
+			if below[i].Power >= classic[i].Power {
+				t.Errorf("f=%v: below-Vcc-min power %v >= classic %v", f, below[i].Power, classic[i].Power)
+			}
+			foundSaving = true
+		}
+	}
+	if !foundSaving {
+		t.Error("no samples fell inside the low-voltage zone")
+	}
+}
+
+func TestPerformanceSubLinearBelowVccMin(t *testing.T) {
+	m := Default()
+	fcut := m.FreqAtVccMin()
+	for _, p := range m.CurveBelowVccMin(100) {
+		if p.Freq >= fcut {
+			if math.Abs(p.Performance-p.Freq) > 1e-6 {
+				t.Errorf("f=%v: cubic-zone performance %v should equal frequency", p.Freq, p.Performance)
+			}
+		} else if p.Freq > 0 {
+			if p.Performance >= p.Freq {
+				t.Errorf("f=%v: low-voltage performance %v should be sub-linear (< f)", p.Freq, p.Performance)
+			}
+			if p.Performance <= 0 {
+				t.Errorf("f=%v: performance %v should remain positive", p.Freq, p.Performance)
+			}
+		}
+	}
+}
+
+func TestPerformanceDegradationWorsensWithDepth(t *testing.T) {
+	// "The performance degradation gets worse as voltage is further
+	// reduced": relative performance (perf/f) falls monotonically with f
+	// inside the low-voltage zone.
+	m := Default()
+	fcut, ffloor := m.FreqAtVccMin(), m.FreqAtVFloor()
+	prevRel := -1.0
+	for _, p := range m.CurveBelowVccMin(400) {
+		if p.Freq <= ffloor || p.Freq >= fcut || p.Freq == 0 {
+			continue
+		}
+		rel := p.Performance / p.Freq
+		if prevRel >= 0 && rel < prevRel-1e-12 {
+			t.Fatalf("relative performance should recover toward Vcc-min: %v then %v at f=%v", prevRel, rel, p.Freq)
+		}
+		prevRel = rel
+	}
+}
+
+func TestPfailExponentialGrowth(t *testing.T) {
+	m := Default()
+	if p := m.Pfail(m.VccMin + 0.1); p != m.PfailAtVccMin {
+		t.Errorf("pfail above Vcc-min = %v, want baseline %v", p, m.PfailAtVccMin)
+	}
+	// Equal voltage steps multiply pfail by a constant factor.
+	r1 := m.Pfail(m.VccMin-0.10) / m.Pfail(m.VccMin-0.05)
+	r2 := m.Pfail(m.VccMin-0.15) / m.Pfail(m.VccMin-0.10)
+	if math.Abs(r1-r2) > 1e-6*r1 {
+		t.Errorf("pfail growth not exponential: ratios %v vs %v", r1, r2)
+	}
+	if m.Pfail(0) > 1 {
+		t.Error("pfail must clamp at 1")
+	}
+}
+
+func TestDefaultCalibration(t *testing.T) {
+	// The default model is calibrated so the paper's operating point
+	// (pfail = 1e-3) is reached at the voltage floor.
+	m := Default()
+	v := m.VoltageForPfail(1e-3)
+	if math.Abs(v-m.VFloor) > 0.02 {
+		t.Errorf("voltage at pfail=1e-3 is %v, want ≈ VFloor %v", v, m.VFloor)
+	}
+	if got := m.VoltageForPfail(m.PfailAtVccMin / 10); got != m.VccMin {
+		t.Errorf("voltage for sub-baseline pfail = %v, want VccMin", got)
+	}
+}
+
+func TestCapacityAtVoltage(t *testing.T) {
+	m := Default()
+	if c := m.CapacityAt(m.VccMin); c < 0.999 {
+		t.Errorf("capacity at Vcc-min = %v, want ≈1", c)
+	}
+	cFloor := m.CapacityAt(m.VFloor)
+	if cFloor > 0.7 || cFloor < 0.4 {
+		t.Errorf("capacity at floor = %v, want ≈0.58 (pfail≈1e-3)", cFloor)
+	}
+}
+
+func TestZoneString(t *testing.T) {
+	if ZoneCubic.String() != "cubic" || ZoneLowVoltage.String() != "low-voltage" || ZoneLinear.String() != "linear" {
+		t.Error("zone names wrong")
+	}
+	if Zone(42).String() != "Zone(42)" {
+		t.Error("unknown zone name wrong")
+	}
+}

@@ -1,0 +1,55 @@
+package prob
+
+import "math"
+
+// Bit-fix (Wilkerson et al., reviewed in Section II of the paper) repairs
+// faults at bit-pair granularity: a quarter of the cache's ways store
+// repair pointers and patch bits for the rest, so the scheme runs at 75%
+// capacity, and its merging logic adds access latency. Each data line is
+// divided into fix groups of pairsPerGroup 2-bit pairs; a group can
+// repair at most repairsPerGroup defective pairs, so any group with more
+// renders the whole cache unfit — the same whole-cache-failure structure
+// as word-disabling (Eq. 4), one level finer.
+//
+// These functions extend the paper's Section IV methodology to bit-fix,
+// quantifying why the ISPASS paper compares against word-disabling at the
+// L1: at pfail = 1e-3 a one-repair-per-group bit-fix design is almost
+// certainly unfit, so bit-fix needs either lower pfail or L2-scale
+// latency slack.
+
+// PairFaultProb returns the probability that a 2-bit pair contains at
+// least one faulty cell: 1-(1-pfail)^2.
+func PairFaultProb(pfail float64) float64 {
+	return BlockFaultProb(2, pfail)
+}
+
+// BitFixGroupFailProb returns the probability that a fix group of
+// pairsPerGroup pairs has more than repairsPerGroup faulty pairs.
+func BitFixGroupFailProb(pairsPerGroup, repairsPerGroup int, pfail float64) float64 {
+	return BinomTailAtLeast(pairsPerGroup, repairsPerGroup+1, PairFaultProb(pfail))
+}
+
+// BitFixLineFailProb returns the probability that any fix group of a line
+// with dataBits of storage is unrepairable.
+func BitFixLineFailProb(dataBits, pairsPerGroup, repairsPerGroup int, pfail float64) float64 {
+	groups := dataBits / 2 / pairsPerGroup
+	pgf := BitFixGroupFailProb(pairsPerGroup, repairsPerGroup, pfail)
+	if pgf <= 0 {
+		return 0
+	}
+	return clamp01(-math.Expm1(float64(groups) * math.Log1p(-pgf)))
+}
+
+// BitFixWholeCacheFailProb returns the probability that a d-line cache is
+// unfit for low-voltage operation under bit-fix.
+func BitFixWholeCacheFailProb(d, dataBits, pairsPerGroup, repairsPerGroup int, pfail float64) float64 {
+	plf := BitFixLineFailProb(dataBits, pairsPerGroup, repairsPerGroup, pfail)
+	if plf <= 0 {
+		return 0
+	}
+	return clamp01(-math.Expm1(float64(d) * math.Log1p(-plf)))
+}
+
+// BitFixCapacity is the scheme's fixed low-voltage capacity: a quarter of
+// the ways hold fix bits.
+const BitFixCapacity = 0.75

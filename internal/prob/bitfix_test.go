@@ -1,0 +1,101 @@
+package prob
+
+import (
+	"math"
+	"testing"
+
+	"vccmin/internal/geom"
+)
+
+func TestPairFaultProb(t *testing.T) {
+	if got := PairFaultProb(0); got != 0 {
+		t.Errorf("PairFaultProb(0) = %v", got)
+	}
+	// Small p: ≈ 2p.
+	if got := PairFaultProb(1e-4); math.Abs(got-2e-4) > 1e-8 {
+		t.Errorf("PairFaultProb(1e-4) = %v, want ≈2e-4", got)
+	}
+}
+
+func TestBitFixGroupFail(t *testing.T) {
+	// One repair per 8-pair group: failure needs >= 2 faulty pairs.
+	p := BitFixGroupFailProb(8, 1, 1e-3)
+	// ppair ≈ 2e-3; C(8,2)(2e-3)^2 ≈ 1.1e-4.
+	if p < 5e-5 || p > 3e-4 {
+		t.Errorf("group fail = %v, want ≈1.1e-4", p)
+	}
+	if BitFixGroupFailProb(8, 8, 0.5) != 0 {
+		t.Error("more repairs than pairs can never fail")
+	}
+}
+
+func TestBitFixWholeCacheFailureScale(t *testing.T) {
+	// The extension's headline: at pfail = 1e-3 a one-repair bit-fix L1
+	// is almost certainly unfit, while word-disabling fails ~1e-3 —
+	// quantifying why the paper compares against word-disabling.
+	g := geom.MustNew(32*1024, 8, 64)
+	bf := BitFixWholeCacheFailProb(g.Blocks(), g.DataBits(), 8, 1, 1e-3)
+	wd := WordDisableWholeCacheFailProb(g.Blocks(), g.BlockBytes, 32, 8, 1e-3)
+	if bf < 0.5 {
+		t.Errorf("bit-fix whole-cache failure at pfail=1e-3 = %v, want large", bf)
+	}
+	if bf <= wd*10 {
+		t.Errorf("bit-fix (%v) should fail orders of magnitude more often than word-disable (%v)", bf, wd)
+	}
+	// At pfail = 1e-4 bit-fix becomes viable.
+	bfLow := BitFixWholeCacheFailProb(g.Blocks(), g.DataBits(), 8, 1, 1e-4)
+	if bfLow > 0.05 {
+		t.Errorf("bit-fix at pfail=1e-4 = %v, want small", bfLow)
+	}
+}
+
+func TestBitFixMonotoneInRepairs(t *testing.T) {
+	g := geom.MustNew(32*1024, 8, 64)
+	prev := 1.1
+	for repairs := 1; repairs <= 4; repairs++ {
+		p := BitFixWholeCacheFailProb(g.Blocks(), g.DataBits(), 8, repairs, 1e-3)
+		if p > prev {
+			t.Fatalf("more repairs should not fail more often: %v at %d repairs", p, repairs)
+		}
+		prev = p
+	}
+}
+
+func TestGranularityOrdering(t *testing.T) {
+	// Finer disabling units keep more capacity at every pfail > 0 — the
+	// insight motivating block (not set/way) disabling.
+	g := geom.MustNew(32*1024, 8, 64)
+	for _, pf := range []float64{1e-4, 1e-3, 2e-3} {
+		b := GranularityCapacity(g, GranularityBlock, pf)
+		s := GranularityCapacity(g, GranularitySet, pf)
+		w := GranularityCapacity(g, GranularityWay, pf)
+		if !(b > s && s > w) {
+			t.Errorf("pfail=%v: want block (%v) > set (%v) > way (%v)", pf, b, s, w)
+		}
+	}
+	// Concrete anchor: at pfail=1e-3, sets (4296 cells) are ~1.4% alive,
+	// ways (34368 cells) essentially dead.
+	if s := GranularityCapacity(g, GranularitySet, 1e-3); s > 0.05 {
+		t.Errorf("set-disable capacity = %v, want ~0.014", s)
+	}
+	if w := GranularityCapacity(g, GranularityWay, 1e-3); w > 1e-10 {
+		t.Errorf("way-disable capacity = %v, want ≈0", w)
+	}
+}
+
+func TestGranularityStrings(t *testing.T) {
+	if GranularityBlock.String() != "block" || GranularitySet.String() != "set" ||
+		GranularityWay.String() != "way" || Granularity(9).String() != "unknown" {
+		t.Error("granularity names wrong")
+	}
+	g := geom.MustNew(32*1024, 8, 64)
+	if CellsPerUnit(g, GranularitySet) != 537*8 {
+		t.Error("set cells wrong")
+	}
+	if CellsPerUnit(g, GranularityWay) != 537*64 {
+		t.Error("way cells wrong")
+	}
+	if CellsPerUnit(g, GranularityBlock) != 537 {
+		t.Error("block cells wrong")
+	}
+}

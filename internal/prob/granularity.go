@@ -1,0 +1,52 @@
+package prob
+
+import "vccmin/internal/geom"
+
+// Disabling-granularity analysis: the related work the paper builds on
+// (Sohi; Lee, Cho, Childers) disables caches at coarser granularities —
+// whole sets or whole ways — for yield. Applying Eq. 2 at each
+// granularity shows why block-level disabling is the sweet spot below
+// Vcc-min: the expected surviving capacity is (1-pfail)^cells-per-unit,
+// and coarser units collapse exponentially faster.
+
+// Granularity names a disabling unit.
+type Granularity int
+
+const (
+	GranularityBlock Granularity = iota
+	GranularitySet
+	GranularityWay
+)
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	switch g {
+	case GranularityBlock:
+		return "block"
+	case GranularitySet:
+		return "set"
+	case GranularityWay:
+		return "way"
+	}
+	return "unknown"
+}
+
+// CellsPerUnit returns the number of vulnerable cells in one disabling
+// unit of the given granularity.
+func CellsPerUnit(g geom.Geometry, gran Granularity) int {
+	switch gran {
+	case GranularitySet:
+		return g.CellsPerBlock() * g.Ways
+	case GranularityWay:
+		return g.CellsPerBlock() * g.Sets()
+	default:
+		return g.CellsPerBlock()
+	}
+}
+
+// GranularityCapacity returns the expected fraction of capacity surviving
+// at low voltage when disabling at the given granularity (Eq. 2 with the
+// unit's cell count).
+func GranularityCapacity(g geom.Geometry, gran Granularity, pfail float64) float64 {
+	return ExpectedCapacity(CellsPerUnit(g, gran), pfail)
+}

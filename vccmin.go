@@ -1,0 +1,287 @@
+// Package vccmin reproduces "Performance-Effective Operation below
+// Vcc-min" (Ladas, Sazeides, Desmet — ISPASS 2010): probability analysis
+// of random SRAM cell faults in caches, the block-disabling scheme it
+// motivates, the word-disabling scheme it compares against, victim
+// caching, and the full simulation apparatus (out-of-order core, cache
+// hierarchy, synthetic SPEC CPU 2000 workloads) needed to regenerate every
+// figure and table of the paper's evaluation.
+//
+// The package is a facade: it re-exports the library's stable surface from
+// the internal packages. Three layers are exposed:
+//
+//   - Analysis: the closed-form fault-distribution mathematics of Section
+//     IV (Eqs. 1-6) — capacity of block-disabling, whole-cache-failure of
+//     word-disabling, incremental word-disabling, block-size sensitivity —
+//     plus the Table I transistor-overhead accounting and the Fig. 1
+//     voltage/power/performance model.
+//
+//   - Mechanism: fault-map generation (uniform and clustered), the
+//     disabling schemes applied to concrete maps, and the cache/victim
+//     cache structures that honor them.
+//
+//   - Evaluation: Table II/III machine assembly, per-benchmark synthetic
+//     workloads, single simulation runs, and the Monte Carlo experiment
+//     drivers that regenerate Figs. 8-12.
+//
+// Quick start:
+//
+//	g := vccmin.ReferenceGeometry()
+//	cap := vccmin.ExpectedBlockDisableCapacity(g, 0.001) // ≈ 0.58
+//
+//	res, err := vccmin.RunSim(vccmin.SimOptions{
+//	    Benchmark: "crafty",
+//	    Mode:      vccmin.LowVoltage,
+//	    Scheme:    vccmin.BlockDisable,
+//	    Victim:    vccmin.Victim10T,
+//	    Pair:      vccmin.NewFaultPair(g, g, 0.001, 42),
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-reproduction numbers.
+package vccmin
+
+import (
+	"math/rand"
+
+	"vccmin/internal/core"
+	"vccmin/internal/experiments"
+	"vccmin/internal/faults"
+	"vccmin/internal/geom"
+	"vccmin/internal/overhead"
+	"vccmin/internal/power"
+	"vccmin/internal/prob"
+	"vccmin/internal/sim"
+	"vccmin/internal/workload"
+)
+
+// ---- Geometry ----
+
+// Geometry describes a set-associative cache array (size, ways, block).
+type Geometry = geom.Geometry
+
+// NewGeometry returns a validated cache geometry with the paper's defaults
+// (36-bit addresses, one valid bit).
+func NewGeometry(sizeBytes, ways, blockBytes int) (Geometry, error) {
+	return geom.New(sizeBytes, ways, blockBytes)
+}
+
+// ReferenceGeometry returns the paper's 32 KB, 8-way, 64 B/block L1.
+func ReferenceGeometry() Geometry { return experiments.ReferenceGeometry() }
+
+// ---- Section IV analysis ----
+
+// MeanFaultyBlocks implements Eq. 1 (urn model): the expected number of
+// distinct blocks hit by n random faults in a cache of g.Blocks() blocks
+// with g.CellsPerBlock() cells each.
+func MeanFaultyBlocks(g Geometry, n int) float64 {
+	return prob.MeanFaultyBlocksExact(g.Blocks(), g.CellsPerBlock(), n)
+}
+
+// ExpectedBlockDisableCapacity implements Eq. 2: the expected fraction of
+// fault-free blocks at per-cell failure probability pfail.
+func ExpectedBlockDisableCapacity(g Geometry, pfail float64) float64 {
+	return prob.ExpectedCapacity(g.CellsPerBlock(), pfail)
+}
+
+// BlockDisableCapacityDistribution implements Eq. 3: element x is the
+// probability that exactly x blocks are fault free.
+func BlockDisableCapacityDistribution(g Geometry, pfail float64) []float64 {
+	return prob.CapacityPMF(g.Blocks(), g.CellsPerBlock(), pfail)
+}
+
+// CapacityAtLeast returns P[capacity >= frac] for a block-disabled cache.
+func CapacityAtLeast(g Geometry, pfail, frac float64) float64 {
+	return prob.CapacityAtLeast(g.Blocks(), g.CellsPerBlock(), pfail, frac)
+}
+
+// WordDisableWholeCacheFailure implements Eqs. 4-5: the probability that a
+// word-disabled cache (32-bit words, 8-word subblocks) is unfit for
+// low-voltage operation at the given pfail.
+func WordDisableWholeCacheFailure(g Geometry, pfail float64) float64 {
+	return prob.WordDisableWholeCacheFailProb(g.Blocks(), g.BlockBytes, 32, 8, pfail)
+}
+
+// IncrementalWordDisableCapacity implements Eq. 6 for the given geometry.
+func IncrementalWordDisableCapacity(g Geometry, pfail float64) float64 {
+	return prob.IncrementalWDCapacity(g.DataBits(), 8, 32, pfail)
+}
+
+// ---- Fault maps and schemes ----
+
+// FaultMap records which cells of a cache array fail at low voltage.
+type FaultMap = faults.Map
+
+// FaultPair bundles the I-cache and D-cache maps drawn together for one
+// experiment trial.
+type FaultPair = faults.Pair
+
+// NewFaultMap draws a uniform random fault map over g at pfail, seeded.
+func NewFaultMap(g Geometry, pfail float64, seed int64) *FaultMap {
+	return faults.GeneratePair(g, g, 32, pfail, seed).I
+}
+
+// NewFaultPair draws an I/D fault-map pair from one seed (Section V).
+func NewFaultPair(ig, dg Geometry, pfail float64, seed int64) *FaultPair {
+	p := faults.GeneratePair(ig, dg, 32, pfail, seed)
+	return &p
+}
+
+// NewClusteredFaultMap draws a fault map under the clustered (non-uniform)
+// fault model — the paper's future-work extension. clusterSize cells fail
+// together; the expected fault rate still equals pfail.
+func NewClusteredFaultMap(g Geometry, pfail float64, clusterSize int, seed int64) *FaultMap {
+	rng := rand.New(rand.NewSource(seed))
+	return faults.GenerateClustered(g, 32, faults.ClusterParams{Pfail: pfail, Size: clusterSize}, rng)
+}
+
+// BlockDisableMap is the per-set way-enable state derived from a fault map.
+type BlockDisableMap = core.BlockDisableMap
+
+// BuildBlockDisable classifies every block of m: any faulty cell (tag,
+// valid or data) disables the block for low-voltage operation.
+func BuildBlockDisable(m *FaultMap) *BlockDisableMap { return core.BuildBlockDisable(m) }
+
+// WordDisableFit reports whether a word-disabled cache with m's faults is
+// usable below Vcc-min (no 8-word subblock with more than 4 faulty words).
+func WordDisableFit(m *FaultMap) bool {
+	return core.EvaluateWordDisable(m, core.ReferenceWordDisable()).Fit
+}
+
+// ---- Overhead (Table I) ----
+
+// OverheadRow is one row of Table I.
+type OverheadRow = overhead.Row
+
+// TableI computes the transistor-overhead comparison for the reference
+// configuration.
+func TableI() []OverheadRow { return experiments.TableI() }
+
+// ---- DVFS model (Fig. 1) ----
+
+// PowerModel is the normalized voltage/frequency/power/performance model.
+type PowerModel = power.Model
+
+// DefaultPowerModel returns the Fig. 1 model calibrated so pfail reaches
+// 1e-3 at the low-voltage floor.
+func DefaultPowerModel() PowerModel { return power.Default() }
+
+// ---- Simulation ----
+
+// Mode is the operating voltage domain.
+type Mode = sim.Mode
+
+// Operating modes.
+const (
+	HighVoltage = sim.HighVoltage
+	LowVoltage  = sim.LowVoltage
+)
+
+// Scheme selects the cache fault-tolerance mechanism.
+type Scheme = sim.Scheme
+
+// Schemes.
+const (
+	Baseline               = sim.Baseline
+	WordDisable            = sim.WordDisable
+	BlockDisable           = sim.BlockDisable
+	IncrementalWordDisable = sim.IncrementalWordDisable
+)
+
+// VictimKind selects the victim-cache option.
+type VictimKind = sim.VictimKind
+
+// Victim-cache options.
+const (
+	NoVictim  = sim.NoVictim
+	Victim10T = sim.Victim10T
+	Victim6T  = sim.Victim6T
+)
+
+// SimOptions configures a single simulation run.
+type SimOptions = sim.Options
+
+// SimResult reports a single simulation run.
+type SimResult = sim.Result
+
+// RunSim simulates one benchmark on one Table III configuration.
+func RunSim(opts SimOptions) (SimResult, error) { return sim.Run(opts) }
+
+// ---- Workloads ----
+
+// Benchmark is a synthetic SPEC CPU 2000 profile.
+type Benchmark = workload.Profile
+
+// Benchmarks returns the 26 profiles in the paper's figure order.
+func Benchmarks() []Benchmark { return workload.Profiles() }
+
+// BenchmarkNames returns the 26 benchmark names in figure order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// ---- Experiment drivers (Figs. 8-12) ----
+
+// SimParams configures the Monte Carlo experiments.
+type SimParams = experiments.SimParams
+
+// DefaultSimParams returns the paper's setup (26 benchmarks, 50 fault-map
+// pairs, pfail 0.001) with a reproduction-scale instruction budget.
+func DefaultSimParams() SimParams { return experiments.DefaultSimParams() }
+
+// LowVoltageResults carries the Fig. 8/9/10 measurements.
+type LowVoltageResults = experiments.LowVoltageResults
+
+// HighVoltageResults carries the Fig. 11/12 measurements.
+type HighVoltageResults = experiments.HighVoltageResults
+
+// Figure is a rendered paper figure.
+type Figure = experiments.Figure
+
+// RunLowVoltage executes the below-Vcc-min experiments (Figs. 8-10).
+func RunLowVoltage(p SimParams) (*LowVoltageResults, error) {
+	return experiments.RunLowVoltage(p)
+}
+
+// RunHighVoltage executes the at-or-above-Vcc-min experiments (Figs. 11-12).
+func RunHighVoltage(p SimParams) (*HighVoltageResults, error) {
+	return experiments.RunHighVoltage(p)
+}
+
+// ---- Extensions: bit-fix and disabling granularity ----
+
+// BitFixResult classifies a fault map for the bit-fix scheme (the other
+// mechanism of Wilkerson et al. reviewed in Section II).
+type BitFixResult = core.BitFixResult
+
+// EvaluateBitFix checks a fault map against the reference bit-fix design
+// (one repair per 16-bit group, 75% capacity, +2 cycles).
+func EvaluateBitFix(m *FaultMap) BitFixResult {
+	return core.EvaluateBitFix(m, core.ReferenceBitFix())
+}
+
+// BitFixWholeCacheFailure returns the analytic probability that bit-fix
+// cannot certify the cache at the given pfail.
+func BitFixWholeCacheFailure(g Geometry, pfail float64) float64 {
+	return prob.BitFixWholeCacheFailProb(g.Blocks(), g.DataBits(), 8, 1, pfail)
+}
+
+// DisablingGranularity names a disabling unit (block, set or way).
+type DisablingGranularity = prob.Granularity
+
+// Disabling granularities.
+const (
+	GranularityBlock = prob.GranularityBlock
+	GranularitySet   = prob.GranularitySet
+	GranularityWay   = prob.GranularityWay
+)
+
+// GranularityCapacity returns the expected surviving capacity when
+// disabling at the given granularity (Eq. 2 applied per unit).
+func GranularityCapacity(g Geometry, gran DisablingGranularity, pfail float64) float64 {
+	return prob.GranularityCapacity(g, gran, pfail)
+}
+
+// MostEfficientOperatingPoint returns the minimum-energy operating point
+// of the below-Vcc-min DVFS model that still delivers minPerformance
+// (normalized); ok is false if the constraint cannot be met.
+func MostEfficientOperatingPoint(m PowerModel, minPerformance float64) (power.OperatingPointChoice, bool) {
+	return m.MostEfficientPoint(minPerformance, 400)
+}

@@ -1,0 +1,134 @@
+package vccmin
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeAnalysis(t *testing.T) {
+	g := ReferenceGeometry()
+	if got := MeanFaultyBlocks(g, 275); math.Abs(got-213) > 1 {
+		t.Errorf("MeanFaultyBlocks(275) = %v, want ≈213", got)
+	}
+	if got := ExpectedBlockDisableCapacity(g, 0.001); math.Abs(got-0.58) > 0.01 {
+		t.Errorf("capacity = %v, want ≈0.58", got)
+	}
+	if got := CapacityAtLeast(g, 0.001, 0.5); got < 0.999 {
+		t.Errorf("P[cap>=50%%] = %v, want >= 0.999", got)
+	}
+	dist := BlockDisableCapacityDistribution(g, 0.001)
+	if len(dist) != g.Blocks()+1 {
+		t.Errorf("distribution has %d entries", len(dist))
+	}
+	if p := WordDisableWholeCacheFailure(g, 0.001); p < 5e-4 || p > 5e-3 {
+		t.Errorf("whole-cache failure = %v, want ≈1e-3", p)
+	}
+	if c := IncrementalWordDisableCapacity(g, 0); c != 1 {
+		t.Errorf("incremental capacity at 0 = %v", c)
+	}
+}
+
+func TestFacadeGeometryAndTableI(t *testing.T) {
+	if _, err := NewGeometry(32*1024, 8, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGeometry(0, 8, 64); err == nil {
+		t.Error("accepted invalid geometry")
+	}
+	rows := TableI()
+	if len(rows) != 6 || rows[0].Total != 76800 {
+		t.Error("TableI wrong")
+	}
+}
+
+func TestFacadeFaultsAndSchemes(t *testing.T) {
+	g := ReferenceGeometry()
+	m := NewFaultMap(g, 0.001, 7)
+	if m.Total == 0 {
+		t.Fatal("fault map empty")
+	}
+	d := BuildBlockDisable(m)
+	if c := d.CapacityFraction(); c < 0.4 || c > 0.8 {
+		t.Errorf("capacity = %v", c)
+	}
+	if !WordDisableFit(NewFaultMap(g, 0, 1)) {
+		t.Error("clean map should fit word-disable")
+	}
+	pair := NewFaultPair(g, g, 0.001, 9)
+	if pair.I.Total == 0 && pair.D.Total == 0 {
+		t.Error("pair suspiciously empty")
+	}
+}
+
+func TestFacadePowerModel(t *testing.T) {
+	m := DefaultPowerModel()
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Pfail(m.VFloor) < 1e-4 {
+		t.Error("pfail at floor should be near 1e-3")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	g := ReferenceGeometry()
+	res, err := RunSim(SimOptions{
+		Benchmark:    "gzip",
+		Mode:         LowVoltage,
+		Scheme:       BlockDisable,
+		Victim:       Victim10T,
+		Pair:         NewFaultPair(g, g, 0.001, 42),
+		Instructions: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Error("zero IPC")
+	}
+	if len(Benchmarks()) != 26 || len(BenchmarkNames()) != 26 {
+		t.Error("benchmark lists wrong")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	p := DefaultSimParams()
+	p.Benchmarks = []string{"eon"}
+	p.FaultPairs = 2
+	p.Instructions = 20_000
+	lv, err := RunLowVoltage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lv.Fig8().Rows) != 1 {
+		t.Error("Fig8 rows wrong")
+	}
+	hv, err := RunHighVoltage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hv.Fig11().Rows) != 1 {
+		t.Error("Fig11 rows wrong")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	g := ReferenceGeometry()
+	if !EvaluateBitFix(NewFaultMap(g, 0, 1)).Fit {
+		t.Error("clean map should fit bit-fix")
+	}
+	if p := BitFixWholeCacheFailure(g, 0.001); p < 0.5 {
+		t.Errorf("bit-fix failure at pfail=1e-3 = %v, want large", p)
+	}
+	b := GranularityCapacity(g, GranularityBlock, 0.001)
+	s := GranularityCapacity(g, GranularitySet, 0.001)
+	w := GranularityCapacity(g, GranularityWay, 0.001)
+	if !(b > s && s > w) {
+		t.Errorf("granularity ordering violated: %v %v %v", b, s, w)
+	}
+	m := DefaultPowerModel()
+	choice, ok := MostEfficientOperatingPoint(m, 0.3)
+	if !ok || choice.Point.Performance < 0.3 {
+		t.Errorf("operating point search failed: %+v ok=%v", choice, ok)
+	}
+}
