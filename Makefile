@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: build test race bench fmt vet sweep-demo ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# A small end-to-end sweep: 3 pfail points × 2 schemes, sharded 2 ways,
+# then a resume pass that must recompute nothing.
+sweep-demo:
+	$(GO) run ./cmd/vccmin-sweep -pfail 1e-4:1e-3:3 -schemes block,word \
+		-trials 2 -instructions 20000 -shards 2 -shard 0 -out /tmp/sweep-demo.jsonl
+	$(GO) run ./cmd/vccmin-sweep -pfail 1e-4:1e-3:3 -schemes block,word \
+		-trials 2 -instructions 20000 -shards 2 -shard 1 -out /tmp/sweep-demo-s1.jsonl
+	cat /tmp/sweep-demo-s1.jsonl >> /tmp/sweep-demo.jsonl
+	$(GO) run ./cmd/vccmin-sweep -pfail 1e-4:1e-3:3 -schemes block,word \
+		-trials 2 -instructions 20000 -resume -out /tmp/sweep-demo.jsonl
+	$(GO) run ./cmd/vccmin-sweep -summarize /tmp/sweep-demo.jsonl
+
+ci: build vet fmt race bench sweep-demo

@@ -1,0 +1,239 @@
+// Command vccmin-sweep runs the sharded parameter-sweep engine over the
+// paper's design space: a cartesian grid of pfail × cache geometry ×
+// scheme × victim-cache kind × disabling granularity, each cell evaluated
+// analytically (Section IV), by Monte Carlo simulation, and against the
+// Fig. 1 energy model.
+//
+// Cells are deterministic: each derives its seed stream from the hash of
+// its coordinates plus -seed, so any cell reproduces identically whether
+// run alone, unsharded, or by any shard layout. Results stream to -out as
+// JSON lines in cell order; -resume skips cells already present there.
+//
+// Usage:
+//
+//	vccmin-sweep -pfail 1e-4:1e-3:5 -schemes block,word -out cells.jsonl
+//	vccmin-sweep -pfail 1e-4:1e-3:5 -schemes block,word -shards 4 -shard 2 -out cells.jsonl
+//	vccmin-sweep -resume -out cells.jsonl            # finish an interrupted run
+//	vccmin-sweep -summarize cells.jsonl              # aggregate an existing file
+//
+// Axis flags take comma-separated values; -pfail also accepts lo:hi:n for
+// n log-spaced points.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"vccmin/internal/geom"
+	"vccmin/internal/prob"
+	"vccmin/internal/sim"
+	"vccmin/internal/sweep"
+)
+
+func main() {
+	var (
+		pfails     = flag.String("pfail", "1e-3", "pfail values: comma list or lo:hi:n (log-spaced)")
+		geoms      = flag.String("geom", "32768x8x64", "cache geometries, comma list of SIZExWAYSxBLOCK")
+		schemes    = flag.String("schemes", "block", "schemes, comma list (baseline,word,block,inc-word,bitfix)")
+		victims    = flag.String("victims", "none", "victim caches, comma list (none,10t,6t)")
+		grans      = flag.String("gran", "block", "disabling granularities, comma list (block,set,way)")
+		benchmarks = flag.String("benchmarks", "", "benchmarks per cell, comma list (default crafty,mcf,gzip)")
+		trials     = flag.Int("trials", 3, "fault-map pairs per cell")
+		instrs     = flag.Int("instructions", 50_000, "simulated instructions per run")
+		seed       = flag.Int64("seed", 1, "base seed for every cell's seed stream")
+		workers    = flag.Int("workers", 0, "concurrent cell evaluations (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "total shard count")
+		shard      = flag.Int("shard", 0, "this run's shard index in [0,shards)")
+		out        = flag.String("out", "", "output JSONL file (empty = stdout, no resume)")
+		resume     = flag.Bool("resume", false, "skip cells already present in -out")
+		summary    = flag.Bool("summary", true, "print per-axis summaries after the run")
+		summarize  = flag.String("summarize", "", "only aggregate an existing JSONL file and exit")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		if err := summarizeFile(*summarize); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	spec := sweep.Spec{
+		Trials:       *trials,
+		Instructions: *instrs,
+		BaseSeed:     *seed,
+		Workers:      *workers,
+		ShardIndex:   *shard,
+		ShardCount:   *shards,
+	}
+	var err error
+	if spec.Pfails, err = parsePfails(*pfails); err != nil {
+		fatal(err)
+	}
+	if spec.Geometries, err = parseGeoms(*geoms); err != nil {
+		fatal(err)
+	}
+	if spec.Schemes, err = parseList(*schemes, sim.ParseScheme); err != nil {
+		fatal(err)
+	}
+	if spec.Victims, err = parseList(*victims, sim.ParseVictim); err != nil {
+		fatal(err)
+	}
+	if spec.Granularities, err = parseList(*grans, prob.ParseGranularity); err != nil {
+		fatal(err)
+	}
+	if *benchmarks != "" {
+		spec.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	opt := sweep.RunOptions{Out: os.Stdout}
+	if *out != "" {
+		valid := int64(-1)
+		if *resume {
+			if f, err := os.Open(*out); err == nil {
+				opt.Completed, valid, err = sweep.LoadCompleted(f)
+				f.Close()
+				if err != nil {
+					fatal(fmt.Errorf("loading %s: %w", *out, err))
+				}
+			} else if !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
+		mode := os.O_CREATE | os.O_WRONLY
+		if *resume {
+			mode |= os.O_APPEND
+		} else {
+			mode |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(*out, mode, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if valid >= 0 {
+			// Drop any partial trailing line a killed run left behind;
+			// appended rows start on the valid prefix's boundary.
+			if err := f.Truncate(valid); err != nil {
+				fatal(err)
+			}
+		}
+		opt.Out = f
+	} else if *resume {
+		fatal(fmt.Errorf("-resume needs -out"))
+	}
+
+	res, err := sweep.Run(spec, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: grid %d cells, shard %d/%d owns %d: computed %d, skipped %d (resume)\n",
+		res.TotalCells, *shard, *shards, res.ShardCells, res.Computed, res.Skipped)
+	if *summary && len(res.Summary) > 0 {
+		printSummary(res.Summary)
+	}
+}
+
+// parsePfails parses "1e-4,5e-4" or "lo:hi:n" (n log-spaced points
+// inclusive of both endpoints).
+func parsePfails(s string) ([]float64, error) {
+	if lo, hi, n, ok := parseRange(s); ok {
+		if lo <= 0 || hi < lo || n < 1 {
+			return nil, fmt.Errorf("bad pfail range %q: need 0 < lo <= hi and n >= 1", s)
+		}
+		if n == 1 {
+			return []float64{lo}, nil
+		}
+		out := make([]float64, n)
+		step := math.Log(hi/lo) / float64(n-1)
+		for i := range out {
+			out[i] = lo * math.Exp(float64(i)*step)
+		}
+		out[n-1] = hi // exact endpoint despite float rounding
+		return out, nil
+	}
+	return parseList(s, func(v string) (float64, error) {
+		return strconv.ParseFloat(v, 64)
+	})
+}
+
+// parseRange recognizes lo:hi:n.
+func parseRange(s string) (lo, hi float64, n int, ok bool) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, false
+	}
+	lo, err1 := strconv.ParseFloat(parts[0], 64)
+	hi, err2 := strconv.ParseFloat(parts[1], 64)
+	n, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, 0, false
+	}
+	return lo, hi, n, true
+}
+
+func parseGeoms(s string) ([]geom.Geometry, error) {
+	return parseList(s, func(v string) (geom.Geometry, error) {
+		parts := strings.Split(v, "x")
+		if len(parts) != 3 {
+			return geom.Geometry{}, fmt.Errorf("bad geometry %q (want SIZExWAYSxBLOCK)", v)
+		}
+		size, err1 := strconv.Atoi(parts[0])
+		ways, err2 := strconv.Atoi(parts[1])
+		block, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return geom.Geometry{}, fmt.Errorf("bad geometry %q (want SIZExWAYSxBLOCK)", v)
+		}
+		return geom.New(size, ways, block)
+	})
+}
+
+func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	var out []T
+	for _, v := range strings.Split(s, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		t, err := parse(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func summarizeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := sweep.ReadRows(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d cells in %s\n", len(rows), path)
+	printSummary(sweep.Summarize(rows))
+	return nil
+}
+
+func printSummary(groups []sweep.AxisSummary) {
+	fmt.Fprintf(os.Stderr, "%-12s %-24s %6s %10s %10s %10s\n",
+		"axis", "value", "cells", "E[cap]", "IPC loss", "E/instr")
+	for _, g := range groups {
+		fmt.Fprintf(os.Stderr, "%-12s %-24s %6d %9.1f%% %9.1f%% %10.3f\n",
+			g.Axis, g.Value, g.Cells,
+			100*g.MeanExpectedCapacity, 100*g.MeanIPCDegradation, g.MeanEnergyPerInstruction)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vccmin-sweep:", err)
+	os.Exit(1)
+}

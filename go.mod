@@ -1,0 +1,3 @@
+module vccmin
+
+go 1.24

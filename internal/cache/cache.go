@@ -59,14 +59,14 @@ func (m *Memory) Access(a geom.Addr, k Kind) int {
 
 // Stats counts cache events.
 type Stats struct {
-	Accesses   uint64
-	Hits       uint64
-	Misses     uint64
-	VictimHits uint64 // misses served by the victim cache
-	Bypasses   uint64 // accesses to sets with zero enabled ways
-	Evictions  uint64
-	Writebacks uint64
-	Prefetches uint64
+	Accesses     uint64
+	Hits         uint64
+	Misses       uint64
+	VictimHits   uint64 // misses served by the victim cache
+	Bypasses     uint64 // accesses to sets with zero enabled ways
+	Evictions    uint64
+	Writebacks   uint64
+	Prefetches   uint64
 	PrefetchHits uint64 // demand hits on prefetched-but-unused lines
 }
 

@@ -17,12 +17,12 @@ import (
 // refCache is the executable specification: LRU per set over enabled ways,
 // optional fully-associative LRU victim buffer with remove-on-hit.
 type refCache struct {
-	g       geom.Geometry
-	enable  *core.BlockDisableMap
-	sets    []map[uint64]int // tag -> recency stamp
-	victim  map[geom.Addr]int
-	vcap    int
-	stamp   int
+	g      geom.Geometry
+	enable *core.BlockDisableMap
+	sets   []map[uint64]int // tag -> recency stamp
+	victim map[geom.Addr]int
+	vcap   int
+	stamp  int
 }
 
 func newRefCache(g geom.Geometry, enable *core.BlockDisableMap, victimEntries int) *refCache {

@@ -119,8 +119,8 @@ func (d *BlockDisableMap) String() string {
 // paper uses 32-bit words and 8-word subblocks (at most 4 faulty words
 // tolerated per subblock).
 type WordDisableConfig struct {
-	WordBits          int
-	WordsPerSubblock  int
+	WordBits           int
+	WordsPerSubblock   int
 	ExtraLatencyCycles int // the alignment network: +1 cycle at both voltages
 }
 
@@ -131,10 +131,10 @@ func ReferenceWordDisable() WordDisableConfig {
 
 // WordDisableResult classifies a fault map for the word-disable scheme.
 type WordDisableResult struct {
-	Fit              bool // false = whole cache failure: unfit for low voltage
-	FailedSubblocks  int  // subblocks with more than half their words faulty
-	TotalSubblocks   int
-	LowVoltageGeom   geom.Geometry // the merged cache: half size, half ways
+	Fit             bool // false = whole cache failure: unfit for low voltage
+	FailedSubblocks int  // subblocks with more than half their words faulty
+	TotalSubblocks  int
+	LowVoltageGeom  geom.Geometry // the merged cache: half size, half ways
 }
 
 // EvaluateWordDisable checks every subblock of every block: more than

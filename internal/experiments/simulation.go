@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
 
 	"vccmin/internal/core"
 	"vccmin/internal/faults"
@@ -121,11 +119,11 @@ func RunLowVoltage(p SimParams) (*LowVoltageResults, error) {
 
 		add := func(dst *float64, opts sim.Options) {
 			jobs = append(jobs, func() error {
-				r, err := sim.Run(opts)
+				ipc, err := RunIPC(opts)
 				if err != nil {
-					return fmt.Errorf("%s %s/%s: %w", name, opts.Scheme, opts.Victim, err)
+					return err
 				}
-				*dst = r.IPC
+				*dst = ipc
 				return nil
 			})
 		}
@@ -156,33 +154,10 @@ func RunLowVoltage(p SimParams) (*LowVoltageResults, error) {
 		}
 	}
 
-	if err := runJobs(p.Parallelism, jobs); err != nil {
+	if err := RunJobs(p.Parallelism, jobs); err != nil {
 		return nil, err
 	}
 	return res, nil
-}
-
-// runJobs executes the closures with bounded parallelism; each closure
-// writes to its own result slot, so no synchronization beyond the wait is
-// needed. The first error (if any) is returned.
-func runJobs(workers int, jobs []func() error) error {
-	sem := make(chan struct{}, workers)
-	errCh := make(chan error, len(jobs))
-	var wg sync.WaitGroup
-	for _, run := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(run func() error) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := run(); err != nil {
-				errCh <- err
-			}
-		}(run)
-	}
-	wg.Wait()
-	close(errCh)
-	return <-errCh
 }
 
 // FigRow is one benchmark's bars in a performance figure; values are
@@ -334,11 +309,11 @@ func RunHighVoltage(p SimParams) (*HighVoltageResults, error) {
 		b.Name = name
 		add := func(dst *float64, opts sim.Options) {
 			jobs = append(jobs, func() error {
-				r, err := sim.Run(opts)
+				ipc, err := RunIPC(opts)
 				if err != nil {
-					return fmt.Errorf("%s %s/%s: %w", name, opts.Scheme, opts.Victim, err)
+					return err
 				}
-				*dst = r.IPC
+				*dst = ipc
 				return nil
 			})
 		}
@@ -363,7 +338,7 @@ func RunHighVoltage(p SimParams) (*HighVoltageResults, error) {
 		o.Victim = sim.Victim10T
 		add(&b.BlockDisableVCIPC, o)
 	}
-	if err := runJobs(p.Parallelism, jobs); err != nil {
+	if err := RunJobs(p.Parallelism, jobs); err != nil {
 		return nil, err
 	}
 	return res, nil

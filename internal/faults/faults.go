@@ -248,3 +248,11 @@ func GeneratePair(ig, dg geom.Geometry, wordBits int, pfail float64, seed int64)
 		D: Generate(dg, wordBits, pfail, rng),
 	}
 }
+
+// GenerateMap draws a single uniform fault map from one seed — the
+// one-array analogue of GeneratePair. The map equals the I side of
+// GeneratePair at the same seed (both consume the same rng prefix), so
+// existing seeded results are unchanged.
+func GenerateMap(g geom.Geometry, wordBits int, pfail float64, seed int64) *Map {
+	return Generate(g, wordBits, pfail, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,56 @@
+package faults
+
+import (
+	"testing"
+
+	"vccmin/internal/geom"
+)
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(1, "pfail=0.001", "trial=3")
+	b := DeriveSeed(1, "pfail=0.001", "trial=3")
+	if a != b {
+		t.Fatalf("DeriveSeed not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedSeparatesLabels(t *testing.T) {
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Error("label boundaries not separated")
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Error("base seed ignored")
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(1, "y") {
+		t.Error("labels ignored")
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	// Children of consecutive bases and trial indices must not collide in
+	// a small sample (they feed rand.NewSource directly).
+	seen := map[int64]bool{}
+	for base := int64(0); base < 32; base++ {
+		for trial := 0; trial < 32; trial++ {
+			s := DeriveSeed(base, "trial", string(rune('a'+trial)))
+			if seen[s] {
+				t.Fatalf("collision at base=%d trial=%d", base, trial)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestGenerateMapMatchesPairISide(t *testing.T) {
+	g := geom.MustNew(32*1024, 8, 64)
+	m := GenerateMap(g, 32, 0.001, 42)
+	p := GeneratePair(g, g, 32, 0.001, 42)
+	if m.Total != p.I.Total {
+		t.Fatalf("GenerateMap diverges from pair I side: %d vs %d faults", m.Total, p.I.Total)
+	}
+	for i := range m.Blocks {
+		if m.Blocks[i] != p.I.Blocks[i] {
+			t.Fatalf("block %d differs", i)
+		}
+	}
+}

@@ -58,12 +58,12 @@ func Schemes() []Scheme {
 // Row is one line of Table I: the transistor cost of the scheme-specific
 // structures.
 type Row struct {
-	Scheme            Scheme
-	TagTransistors    int  // (tag bits + valid) * blocks, in the scheme's cell type
-	DisableTransistors int // fault mask or disable bits
-	VictimTransistors int  // victim cache storage (tag + entries*blockBits per the paper's accounting)
-	AlignmentNetwork  bool // word-disable's shift-mux network
-	Total             int
+	Scheme             Scheme
+	TagTransistors     int  // (tag bits + valid) * blocks, in the scheme's cell type
+	DisableTransistors int  // fault mask or disable bits
+	VictimTransistors  int  // victim cache storage (tag + entries*blockBits per the paper's accounting)
+	AlignmentNetwork   bool // word-disable's shift-mux network
+	Total              int
 }
 
 // Params configures the Table I computation.

@@ -43,6 +43,26 @@ func (m Model) MostEfficientPoint(minPerformance float64, n int) (OperatingPoint
 	return best, found
 }
 
+// OperatingPointForPfail returns the below-Vcc-min operating point at the
+// voltage where the failure model reaches the target pfail, clamped to
+// [VFloor, VccMin]. It is the Fig. 1 point a sweep cell at that pfail
+// occupies: its EnergyPerWork is the cell's normalized energy per
+// instruction.
+func (m Model) OperatingPointForPfail(pfail float64) Point {
+	v := m.VoltageForPfail(pfail)
+	if v < m.VFloor {
+		v = m.VFloor
+	}
+	if v > m.VccMin {
+		v = m.VccMin
+	}
+	zone := ZoneLowVoltage
+	if v >= m.VccMin {
+		zone = ZoneCubic
+	}
+	return m.pointAt(m.FreqForVoltage(v), v, zone)
+}
+
 // EnergySavingVsClassic returns the fractional energy-per-work saving of
 // the most efficient below-Vcc-min point against the most efficient
 // classic-DVS point, both meeting minPerformance. ok is false if either

@@ -169,30 +169,33 @@ func (m Model) CurveBelowVccMin(n int) []Point {
 	fcut, ffloor := m.FreqAtVccMin(), m.FreqAtVFloor()
 	for i := 0; i <= n; i++ {
 		f := float64(i) / float64(n)
-		var p Point
-		p.Freq = f
 		switch {
 		case f >= fcut:
-			p.Voltage = m.VoltageForFreq(f)
-			p.Zone = ZoneCubic
+			pts = append(pts, m.pointAt(f, m.VoltageForFreq(f), ZoneCubic))
 		case f >= ffloor:
-			p.Voltage = m.VoltageForFreq(f)
-			p.Zone = ZoneLowVoltage
+			pts = append(pts, m.pointAt(f, m.VoltageForFreq(f), ZoneLowVoltage))
 		default:
-			p.Voltage = m.VFloor
-			p.Zone = ZoneLinear
+			pts = append(pts, m.pointAt(f, m.VFloor, ZoneLinear))
 		}
-		if p.Zone == ZoneCubic {
-			// At or above Vcc-min every cell is reliable: no capacity loss.
-			p.Performance = f
-		} else {
-			capLoss := 1 - m.CapacityAt(p.Voltage)
-			p.Performance = f * (1 - m.PerfLossFactor*capLoss)
-		}
-		p.Power = p.Voltage * p.Voltage * f
-		pts = append(pts, p)
 	}
 	return pts
+}
+
+// pointAt builds the Fig. 1b point at frequency f and voltage v: cubic-zone
+// points run at full performance (every cell reliable); below Vcc-min the
+// growing pfail disables cache capacity, costing performance through
+// PerfLossFactor. Shared by the curve sampler and OperatingPointForPfail so
+// the two views of the model cannot drift apart.
+func (m Model) pointAt(f, v float64, zone Zone) Point {
+	p := Point{Freq: f, Voltage: v, Zone: zone}
+	if zone == ZoneCubic {
+		p.Performance = f
+	} else {
+		capLoss := 1 - m.CapacityAt(v)
+		p.Performance = f * (1 - m.PerfLossFactor*capLoss)
+	}
+	p.Power = v * v * f
+	return p
 }
 
 // VoltageForPfail returns the voltage at which the failure model reaches

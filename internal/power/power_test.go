@@ -13,12 +13,12 @@ func TestDefaultModelValid(t *testing.T) {
 
 func TestCheckRejectsBadModels(t *testing.T) {
 	bad := []Model{
-		func() Model { m := Default(); m.VccMin = 0.2; return m }(),         // VccMin below floor
-		func() Model { m := Default(); m.VFloor = 0.1; return m }(),         // floor below idle
-		func() Model { m := Default(); m.PfailAtVccMin = 0; return m }(),    // degenerate pfail
-		func() Model { m := Default(); m.PfailEFold = -1; return m }(),      // negative slope
-		func() Model { m := Default(); m.CellsPerBlock = 0; return m }(),    // no cells
-		func() Model { m := Default(); m.PerfLossFactor = 2; return m }(),   // loss > 1
+		func() Model { m := Default(); m.VccMin = 0.2; return m }(),       // VccMin below floor
+		func() Model { m := Default(); m.VFloor = 0.1; return m }(),       // floor below idle
+		func() Model { m := Default(); m.PfailAtVccMin = 0; return m }(),  // degenerate pfail
+		func() Model { m := Default(); m.PfailEFold = -1; return m }(),    // negative slope
+		func() Model { m := Default(); m.CellsPerBlock = 0; return m }(),  // no cells
+		func() Model { m := Default(); m.PerfLossFactor = 2; return m }(), // loss > 1
 	}
 	for i, m := range bad {
 		if err := m.Check(); err == nil {

@@ -1,6 +1,10 @@
 package prob
 
-import "vccmin/internal/geom"
+import (
+	"fmt"
+
+	"vccmin/internal/geom"
+)
 
 // Disabling-granularity analysis: the related work the paper builds on
 // (Sohi; Lee, Cho, Childers) disables caches at coarser granularities —
@@ -29,6 +33,19 @@ func (g Granularity) String() string {
 		return "way"
 	}
 	return "unknown"
+}
+
+// ParseGranularity converts a CLI-style granularity name.
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "block":
+		return GranularityBlock, nil
+	case "set":
+		return GranularitySet, nil
+	case "way":
+		return GranularityWay, nil
+	}
+	return 0, fmt.Errorf("prob: unknown granularity %q (want block, set or way)", s)
 }
 
 // CellsPerUnit returns the number of vulnerable cells in one disabling

@@ -205,8 +205,8 @@ func TestWholeCacheFailureMonotone(t *testing.T) {
 func TestFig6BlockSizeOrdering(t *testing.T) {
 	// Smaller blocks mean higher capacity at any pfail > 0.
 	for _, pf := range []float64{5e-4, 1e-3, 2e-3, 5e-3} {
-		k32 := 32*8 + 25 + 1  // 32B block in a 32KB cache: 7-bit index => 25-bit tag... tag depends on geometry
-		k64 := 64*8 + 24 + 1  // reference
+		k32 := 32*8 + 25 + 1 // 32B block in a 32KB cache: 7-bit index => 25-bit tag... tag depends on geometry
+		k64 := 64*8 + 24 + 1 // reference
 		k128 := 128*8 + 23 + 1
 		c32 := ExpectedCapacity(k32, pf)
 		c64 := ExpectedCapacity(k64, pf)

@@ -1,0 +1,35 @@
+package sim
+
+import "fmt"
+
+// ParseScheme converts a CLI-style scheme name to a Scheme. Both the full
+// Stringer names ("block-disable") and the short sweep-flag forms
+// ("block") are accepted.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "baseline", "base":
+		return Baseline, nil
+	case "word", "word-disable", "wd":
+		return WordDisable, nil
+	case "block", "block-disable", "bd":
+		return BlockDisable, nil
+	case "inc-word", "incremental-word-disable", "iwd":
+		return IncrementalWordDisable, nil
+	case "bitfix", "bit-fix":
+		return BitFix, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheme %q (want baseline, word, block, inc-word or bitfix)", s)
+}
+
+// ParseVictim converts a CLI-style victim-cache name to a VictimKind.
+func ParseVictim(s string) (VictimKind, error) {
+	switch s {
+	case "none", "no-victim", "no":
+		return NoVictim, nil
+	case "10t", "10T", "victim-10T":
+		return Victim10T, nil
+	case "6t", "6T", "victim-6T":
+		return Victim6T, nil
+	}
+	return 0, fmt.Errorf("sim: unknown victim kind %q (want none, 10t or 6t)", s)
+}

@@ -170,9 +170,9 @@ type Result struct {
 	Stats   pipeline.Stats
 	IPC     float64
 
-	ICache  cache.Stats
-	DCache  cache.Stats
-	L2      cache.Stats
+	ICache        cache.Stats
+	DCache        cache.Stats
+	L2            cache.Stats
 	VictimHitRate float64
 
 	// Low-voltage capacity actually available to the run.

@@ -134,11 +134,11 @@ func Percentile(vals []float64, p float64) float64 {
 
 // Histogram is a fixed-width bucketing of a sample over [Lo, Hi).
 type Histogram struct {
-	Lo, Hi  float64
-	Counts  []int
-	Under   int // samples below Lo
-	Over    int // samples at or above Hi
-	Total   int
+	Lo, Hi float64
+	Counts []int
+	Under  int // samples below Lo
+	Over   int // samples at or above Hi
+	Total  int
 }
 
 // NewHistogram buckets vals into n equal-width bins spanning [lo, hi).

@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"vccmin/internal/core"
+	"vccmin/internal/experiments"
+	"vccmin/internal/faults"
+	"vccmin/internal/power"
+	"vccmin/internal/prob"
+	"vccmin/internal/sim"
+	"vccmin/internal/stats"
+)
+
+// Row is one cell's result, streamed as a JSON line. Field order is fixed:
+// rows are compared byte-for-byte across shard layouts, so every value in
+// a Row must depend only on the cell coordinates and the base seed — never
+// on shard layout, worker scheduling or wall-clock state.
+type Row struct {
+	Key   string `json:"key"`
+	Index int    `json:"index"`
+
+	Pfail       float64 `json:"pfail"`
+	GeomSize    int     `json:"geom_size"`
+	GeomWays    int     `json:"geom_ways"`
+	GeomBlock   int     `json:"geom_block"`
+	Scheme      string  `json:"scheme"`
+	Victim      string  `json:"victim"`
+	Granularity string  `json:"granularity"`
+	Seed        int64   `json:"seed"`
+
+	// Section IV analytics at this cell.
+	ExpectedCapacity   float64 `json:"expected_capacity"`
+	WholeCacheFailProb float64 `json:"whole_cache_fail_prob,omitempty"`
+
+	// Monte Carlo simulation estimates (mean over benchmarks × trials).
+	MeanIPC          float64 `json:"mean_ipc"`
+	BaselineIPC      float64 `json:"baseline_ipc"`
+	IPCDegradation   float64 `json:"ipc_degradation"`
+	MeasuredCapacity float64 `json:"measured_capacity"`
+	UnfitTrials      int     `json:"unfit_trials"`
+
+	// Fig. 1 model at the voltage this pfail implies.
+	Voltage              float64 `json:"voltage"`
+	Frequency            float64 `json:"frequency"`
+	EnergyPerInstruction float64 `json:"energy_per_instruction"`
+
+	Trials     int `json:"trials"`
+	Benchmarks int `json:"benchmarks"`
+}
+
+// faultDependent reports whether the scheme's simulated IPC varies with
+// the drawn fault map (if not, one trial per benchmark suffices).
+func faultDependent(s sim.Scheme) bool {
+	return s == sim.BlockDisable || s == sim.IncrementalWordDisable
+}
+
+// evaluate computes one cell. All randomness descends from the cell seed,
+// which descends from the cell key, so the result is independent of which
+// shard or worker runs it.
+func (s Spec) evaluate(c Cell) (Row, error) {
+	key := c.Key()
+	seed := faults.DeriveSeed(s.BaseSeed, key)
+	row := Row{
+		Key:   key,
+		Index: c.Index,
+
+		Pfail:       c.Pfail,
+		GeomSize:    c.Geometry.SizeBytes,
+		GeomWays:    c.Geometry.Ways,
+		GeomBlock:   c.Geometry.BlockBytes,
+		Scheme:      c.Scheme.String(),
+		Victim:      c.Victim.String(),
+		Granularity: c.Granularity.String(),
+		Seed:        seed,
+
+		Benchmarks: len(s.Benchmarks),
+	}
+
+	// Analytics: Eq. 2 capacity at the cell's disabling granularity, and
+	// the Eq. 4-5 whole-cache-failure probability for word-disabling.
+	row.ExpectedCapacity = prob.GranularityCapacity(c.Geometry, c.Granularity, c.Pfail)
+	if c.Scheme == sim.WordDisable {
+		row.WholeCacheFailProb = prob.WordDisableWholeCacheFailProb(
+			c.Geometry.Blocks(), c.Geometry.BlockBytes, 32, 8, c.Pfail)
+	}
+
+	// Fig. 1 model: the operating point at the voltage where the failure
+	// model reaches this cell's pfail.
+	op := power.Default().OperatingPointForPfail(c.Pfail)
+	row.Voltage = op.Voltage
+	row.Frequency = op.Freq
+	row.EnergyPerInstruction = power.EnergyPerWork(op)
+
+	machine := sim.Reference(sim.LowVoltage)
+	machine.L1Size = c.Geometry.SizeBytes
+	machine.L1Ways = c.Geometry.Ways
+	machine.L1BlockBytes = c.Geometry.BlockBytes
+
+	// simTrials is the number of simulated trials per benchmark: schemes
+	// whose IPC is fault-independent need only one. pairTrials is the
+	// number of fault-map pairs drawn; word-disabling still draws the
+	// full sample for its whole-cache-fitness statistic. Row.Trials
+	// reports the larger — the cell's actual Monte Carlo sample size.
+	simTrials, pairTrials := 1, 0
+	if faultDependent(c.Scheme) {
+		simTrials, pairTrials = s.Trials, s.Trials
+	} else if c.Scheme == sim.WordDisable {
+		pairTrials = s.Trials
+	}
+	row.Trials = simTrials
+	if pairTrials > row.Trials {
+		row.Trials = pairTrials
+	}
+
+	// Trial fault maps are shared across benchmarks (the paper's design:
+	// every configuration sees identical fault patterns).
+	pairs := make([]faults.Pair, pairTrials)
+	wdCfg := core.ReferenceWordDisable()
+	for t := range pairs {
+		pairSeed := faults.DeriveSeed(seed, "pair", itoa(t))
+		pairs[t] = faults.GeneratePair(c.Geometry, c.Geometry, 32, c.Pfail, pairSeed)
+		if c.Scheme == sim.WordDisable {
+			if !core.EvaluateWordDisable(pairs[t].I, wdCfg).Fit ||
+				!core.EvaluateWordDisable(pairs[t].D, wdCfg).Fit {
+				row.UnfitTrials++
+			}
+		}
+	}
+
+	var ipcs, baseIPCs, caps []float64
+	for _, bench := range s.Benchmarks {
+		workSeed := faults.DeriveSeed(seed, "workload", bench)
+		base := sim.Options{
+			Benchmark:    bench,
+			Mode:         sim.LowVoltage,
+			Instructions: s.Instructions,
+			Seed:         workSeed,
+			Machine:      &machine,
+		}
+		baseIPC, err := experiments.RunIPC(base)
+		if err != nil {
+			return Row{}, err
+		}
+		baseIPCs = append(baseIPCs, baseIPC)
+
+		for t := 0; t < simTrials; t++ {
+			opts := base
+			opts.Scheme = c.Scheme
+			opts.Victim = c.Victim
+			if faultDependent(c.Scheme) {
+				opts.Pair = &pairs[t]
+			}
+			r, err := sim.Run(opts)
+			if err != nil {
+				return Row{}, wrapCellErr(key, err)
+			}
+			ipcs = append(ipcs, r.IPC)
+			caps = append(caps, (r.ICapacity+r.DCapacity)/2)
+		}
+	}
+	row.MeanIPC = stats.Mean(ipcs)
+	row.BaselineIPC = stats.Mean(baseIPCs)
+	if row.BaselineIPC > 0 {
+		row.IPCDegradation = 1 - row.MeanIPC/row.BaselineIPC
+	}
+	row.MeasuredCapacity = stats.Mean(caps)
+	return row, nil
+}

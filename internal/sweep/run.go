@@ -1,0 +1,190 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// RunOptions configures a sweep execution.
+type RunOptions struct {
+	// Out receives the computed rows as JSON lines, flushed in cell order
+	// as soon as every earlier owned cell has completed — so a killed run
+	// leaves a valid resumable prefix. Nil discards the stream.
+	Out io.Writer
+
+	// Completed holds cell keys to skip (resume). Build it from a partial
+	// output file with LoadCompleted.
+	Completed map[string]struct{}
+}
+
+// Result summarizes one sweep execution (one shard's view).
+type Result struct {
+	Spec       Spec
+	Rows       []Row // rows computed by this run, in cell order
+	TotalCells int   // full grid size
+	ShardCells int   // cells owned by this shard
+	Computed   int
+	Skipped    int // owned cells skipped because already completed
+	Summary    []AxisSummary
+}
+
+// Run evaluates the spec's grid cells owned by its shard, skipping cells
+// already in opt.Completed, with Spec.Workers concurrent evaluations.
+// Rows stream to opt.Out in cell order. The first cell error aborts the
+// run (already-flushed rows remain valid for resume).
+func Run(spec Spec, opt RunOptions) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.Check(); err != nil {
+		return nil, err
+	}
+
+	all := spec.Cells()
+	res := &Result{Spec: spec, TotalCells: len(all)}
+	var todo []Cell
+	for _, c := range all {
+		if !spec.owns(c) {
+			continue
+		}
+		res.ShardCells++
+		if _, done := opt.Completed[c.Key()]; done {
+			res.Skipped++
+			continue
+		}
+		todo = append(todo, c)
+	}
+
+	rows := make([]*Row, len(todo))
+	var (
+		failed   atomic.Bool
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, spec.Workers)
+
+		mu      sync.Mutex
+		next    int // first not-yet-flushed slot
+		flushed []Row
+	)
+	out := opt.Out
+	var bw *bufio.Writer
+	if out != nil {
+		bw = bufio.NewWriter(out)
+		out = bw
+	}
+
+	// flush writes the completed prefix of rows, keeping the output a
+	// valid in-order checkpoint at all times.
+	flush := func(i int, r *Row) error {
+		mu.Lock()
+		defer mu.Unlock()
+		rows[i] = r
+		for next < len(rows) && rows[next] != nil {
+			flushed = append(flushed, *rows[next])
+			if out != nil {
+				b, err := json.Marshal(rows[next])
+				if err != nil {
+					return err
+				}
+				if _, err := out.Write(append(b, '\n')); err != nil {
+					return err
+				}
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+			}
+			next++
+		}
+		return nil
+	}
+
+	for i, c := range todo {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c Cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if failed.Load() {
+				return
+			}
+			row, err := spec.evaluate(c)
+			if err == nil {
+				err = flush(i, &row)
+			}
+			if err != nil {
+				errOnce.Do(func() { firstErr = err; failed.Store(true) })
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res.Rows = flushed
+	res.Computed = len(flushed)
+	res.Summary = Summarize(flushed)
+	return res, nil
+}
+
+// ReadRows parses a JSON-lines result stream (blank lines ignored).
+func ReadRows(r io.Reader) ([]Row, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var rows []Row
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var row Row
+		if err := json.Unmarshal(line, &row); err != nil {
+			return nil, fmt.Errorf("sweep: line %d: %w", ln, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// LoadCompleted reads a partial result stream and returns the set of cell
+// keys it contains plus the byte length of the valid prefix. A final line
+// without a newline (a run killed mid-write) is tolerated and excluded
+// from both; callers appending to the file should first truncate it to
+// valid. A complete line that fails to parse is real corruption and an
+// error.
+func LoadCompleted(r io.Reader) (done map[string]struct{}, valid int64, err error) {
+	br := bufio.NewReader(r)
+	done = map[string]struct{}{}
+	for ln := 1; ; ln++ {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: a checkpoint interrupted mid-write.
+			return done, valid, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var row Row
+			if err := json.Unmarshal(trimmed, &row); err != nil {
+				return nil, 0, fmt.Errorf("sweep: line %d: %w", ln, err)
+			}
+			done[row.Key] = struct{}{}
+		}
+		valid += int64(len(line))
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func wrapCellErr(key string, err error) error {
+	return fmt.Errorf("sweep: cell %s: %w", key, err)
+}

@@ -1,0 +1,156 @@
+// Package sweep is a deterministic, sharded Monte Carlo parameter-sweep
+// engine over the paper's design space. A Spec names value lists for five
+// sweep axes — per-cell failure probability, cache geometry, disabling
+// scheme, victim-cache kind and disabling granularity — and the engine
+// evaluates every cell of the cartesian grid: the Section IV analytic
+// capacity at that cell, a Monte Carlo simulation estimate of its IPC and
+// IPC degradation versus the fault-free baseline, and the Fig. 1 energy
+// per instruction at the voltage that pfail implies.
+//
+// Determinism and sharding are the point. Every cell derives its own seed
+// stream from the hash of its coordinate key plus the spec's base seed
+// (faults.DeriveSeed), so a cell's result is byte-identical whether it is
+// computed alone, in a full sweep, or by shard 2 of 4 — shards partition
+// the grid by cell index modulo shard count and can run anywhere, in any
+// order. Results stream out as JSON lines in cell order; a resumed run
+// skips cells whose keys already appear in the output.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+
+	"vccmin/internal/geom"
+	"vccmin/internal/prob"
+	"vccmin/internal/sim"
+)
+
+// Spec describes a sweep: the grid axes plus per-cell Monte Carlo and
+// execution parameters. Zero-valued fields take defaults (withDefaults).
+type Spec struct {
+	// Grid axes. Empty axes default to a single reference value.
+	Pfails        []float64
+	Geometries    []geom.Geometry
+	Schemes       []sim.Scheme
+	Victims       []sim.VictimKind
+	Granularities []prob.Granularity
+
+	// Per-cell Monte Carlo parameters.
+	Benchmarks   []string // workloads averaged within each cell
+	Trials       int      // fault-map pairs per cell (fault-dependent schemes)
+	Instructions int      // simulated instructions per run
+
+	// BaseSeed roots every cell's seed stream.
+	BaseSeed int64
+
+	// Workers bounds concurrent cell evaluations; 0 = GOMAXPROCS.
+	Workers int
+
+	// ShardIndex/ShardCount select the cells this run owns: cell i belongs
+	// to shard i % ShardCount. Zero ShardCount means 1 (unsharded).
+	ShardIndex int
+	ShardCount int
+}
+
+func (s Spec) withDefaults() Spec {
+	if len(s.Pfails) == 0 {
+		s.Pfails = []float64{0.001}
+	}
+	if len(s.Geometries) == 0 {
+		s.Geometries = []geom.Geometry{geom.MustNew(32*1024, 8, 64)}
+	}
+	if len(s.Schemes) == 0 {
+		s.Schemes = []sim.Scheme{sim.BlockDisable}
+	}
+	if len(s.Victims) == 0 {
+		s.Victims = []sim.VictimKind{sim.NoVictim}
+	}
+	if len(s.Granularities) == 0 {
+		s.Granularities = []prob.Granularity{prob.GranularityBlock}
+	}
+	if len(s.Benchmarks) == 0 {
+		s.Benchmarks = []string{"crafty", "mcf", "gzip"}
+	}
+	if s.Trials <= 0 {
+		s.Trials = 3
+	}
+	if s.Instructions <= 0 {
+		s.Instructions = 50_000
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	if s.ShardCount <= 0 {
+		s.ShardCount = 1
+	}
+	return s
+}
+
+// Check validates a defaulted spec.
+func (s Spec) Check() error {
+	if s.ShardIndex < 0 || s.ShardIndex >= s.ShardCount {
+		return fmt.Errorf("sweep: shard index %d out of range [0,%d)", s.ShardIndex, s.ShardCount)
+	}
+	for _, p := range s.Pfails {
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("sweep: pfail %v out of [0,1)", p)
+		}
+	}
+	for _, g := range s.Geometries {
+		if err := g.Check(); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	return nil
+}
+
+// Cell is one point of the cartesian grid.
+type Cell struct {
+	Index       int // position in the full grid, shard-independent
+	Pfail       float64
+	Geometry    geom.Geometry
+	Scheme      sim.Scheme
+	Victim      sim.VictimKind
+	Granularity prob.Granularity
+}
+
+// Key returns the cell's canonical coordinate string. It identifies the
+// cell across runs — the resume logic matches on it — and roots the
+// cell's seed stream, so its format is part of the on-disk contract.
+func (c Cell) Key() string {
+	return fmt.Sprintf("pfail=%s;geom=%dx%dx%d;scheme=%s;victim=%s;gran=%s",
+		strconv.FormatFloat(c.Pfail, 'g', -1, 64),
+		c.Geometry.SizeBytes, c.Geometry.Ways, c.Geometry.BlockBytes,
+		c.Scheme, c.Victim, c.Granularity)
+}
+
+// Cells enumerates the full grid in canonical order (pfail outermost,
+// granularity innermost). The order defines cell indices and therefore
+// shard ownership; it must not change across versions.
+func (s Spec) Cells() []Cell {
+	var out []Cell
+	i := 0
+	for _, p := range s.Pfails {
+		for _, g := range s.Geometries {
+			for _, sc := range s.Schemes {
+				for _, v := range s.Victims {
+					for _, gr := range s.Granularities {
+						out = append(out, Cell{
+							Index: i, Pfail: p, Geometry: g,
+							Scheme: sc, Victim: v, Granularity: gr,
+						})
+						i++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// owns reports whether this spec's shard computes the cell.
+func (s Spec) owns(c Cell) bool { return c.Index%s.ShardCount == s.ShardIndex }

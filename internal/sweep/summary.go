@@ -1,0 +1,69 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// AxisSummary aggregates the rows sharing one value of one sweep axis:
+// the marginal view of the grid along that axis.
+type AxisSummary struct {
+	Axis  string `json:"axis"`
+	Value string `json:"value"`
+	Cells int    `json:"cells"`
+
+	MeanExpectedCapacity     float64 `json:"mean_expected_capacity"`
+	MeanIPCDegradation       float64 `json:"mean_ipc_degradation"`
+	MeanEnergyPerInstruction float64 `json:"mean_energy_per_instruction"`
+}
+
+// Summarize groups rows by each axis value and averages the three headline
+// metrics. Output order is deterministic: axes in grid order, values in
+// ascending cell-index order of first appearance.
+func Summarize(rows []Row) []AxisSummary {
+	sorted := make([]Row, len(rows))
+	copy(sorted, rows)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+
+	axes := []struct {
+		name string
+		key  func(Row) string
+	}{
+		{"pfail", func(r Row) string { return strconv.FormatFloat(r.Pfail, 'g', -1, 64) }},
+		{"geometry", func(r Row) string {
+			return fmt.Sprintf("%dx%dx%d", r.GeomSize, r.GeomWays, r.GeomBlock)
+		}},
+		{"scheme", func(r Row) string { return r.Scheme }},
+		{"victim", func(r Row) string { return r.Victim }},
+		{"granularity", func(r Row) string { return r.Granularity }},
+	}
+
+	var out []AxisSummary
+	for _, ax := range axes {
+		idx := map[string]int{}
+		var groups []AxisSummary
+		for _, r := range sorted {
+			v := ax.key(r)
+			i, ok := idx[v]
+			if !ok {
+				i = len(groups)
+				idx[v] = i
+				groups = append(groups, AxisSummary{Axis: ax.name, Value: v})
+			}
+			g := &groups[i]
+			g.Cells++
+			g.MeanExpectedCapacity += r.ExpectedCapacity
+			g.MeanIPCDegradation += r.IPCDegradation
+			g.MeanEnergyPerInstruction += r.EnergyPerInstruction
+		}
+		for i := range groups {
+			n := float64(groups[i].Cells)
+			groups[i].MeanExpectedCapacity /= n
+			groups[i].MeanIPCDegradation /= n
+			groups[i].MeanEnergyPerInstruction /= n
+		}
+		out = append(out, groups...)
+	}
+	return out
+}

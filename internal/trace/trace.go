@@ -12,13 +12,13 @@ import "fmt"
 type Class uint8
 
 const (
-	IntALU Class = iota // 1-cycle integer op, 4 units
-	IntMult             // 7-cycle integer multiply/divide, 4 units
-	FPALU               // 4-cycle FP add/compare, 1 unit
-	FPMult              // 4-cycle FP multiply/divide, 1 unit
-	Load                // D-cache access
-	Store               // D-cache access, non-blocking
-	Branch              // resolves in execute; redirects fetch
+	IntALU  Class = iota // 1-cycle integer op, 4 units
+	IntMult              // 7-cycle integer multiply/divide, 4 units
+	FPALU                // 4-cycle FP add/compare, 1 unit
+	FPMult               // 4-cycle FP multiply/divide, 1 unit
+	Load                 // D-cache access
+	Store                // D-cache access, non-blocking
+	Branch               // resolves in execute; redirects fetch
 )
 
 // NumClasses is the number of instruction classes.

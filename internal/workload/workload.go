@@ -40,8 +40,8 @@ type Profile struct {
 
 	// Instruction mix; the remainder is ALU work.
 	LoadFrac, StoreFrac, BranchFrac float64
-	FPFrac   float64 // share of ALU ops that are floating point
-	MultFrac float64 // share of ALU ops that are multiplies/divides
+	FPFrac                          float64 // share of ALU ops that are floating point
+	MultFrac                        float64 // share of ALU ops that are multiplies/divides
 
 	// Data side.
 	ColdFrac float64 // share of data accesses streaming through new blocks

@@ -36,11 +36,13 @@
 //	    Pair:      vccmin.NewFaultPair(g, g, 0.001, 42),
 //	})
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-reproduction numbers.
+// See README.md for the quickstart, the CLI inventory (vccmin-analysis,
+// vccmin-faultmap, vccmin-sim, vccmin-sweep) and the build/test entry
+// points.
 package vccmin
 
 import (
+	"io"
 	"math/rand"
 
 	"vccmin/internal/core"
@@ -51,6 +53,7 @@ import (
 	"vccmin/internal/power"
 	"vccmin/internal/prob"
 	"vccmin/internal/sim"
+	"vccmin/internal/sweep"
 	"vccmin/internal/workload"
 )
 
@@ -116,8 +119,9 @@ type FaultMap = faults.Map
 type FaultPair = faults.Pair
 
 // NewFaultMap draws a uniform random fault map over g at pfail, seeded.
+// The map equals the I side of NewFaultPair at the same seed.
 func NewFaultMap(g Geometry, pfail float64, seed int64) *FaultMap {
-	return faults.GeneratePair(g, g, 32, pfail, seed).I
+	return faults.GenerateMap(g, 32, pfail, seed)
 }
 
 // NewFaultPair draws an I/D fault-map pair from one seed (Section V).
@@ -244,6 +248,47 @@ func RunLowVoltage(p SimParams) (*LowVoltageResults, error) {
 func RunHighVoltage(p SimParams) (*HighVoltageResults, error) {
 	return experiments.RunHighVoltage(p)
 }
+
+// ---- Parameter sweeps ----
+
+// SweepSpec configures a deterministic, shardable sweep over the
+// (pfail × geometry × scheme × victim × granularity) grid.
+type SweepSpec = sweep.Spec
+
+// SweepRow is one grid cell's result (one JSON line of the output).
+type SweepRow = sweep.Row
+
+// SweepResult summarizes one sweep execution.
+type SweepResult = sweep.Result
+
+// SweepAxisSummary is the per-axis marginal aggregate of a sweep.
+type SweepAxisSummary = sweep.AxisSummary
+
+// RunSweep evaluates the spec's grid (or this shard's slice of it),
+// streaming JSON-line rows to out (nil discards them). Every cell seeds
+// from the hash of its coordinates plus the base seed, so results are
+// identical under any shard layout.
+func RunSweep(spec SweepSpec, out io.Writer) (*SweepResult, error) {
+	return sweep.Run(spec, sweep.RunOptions{Out: out})
+}
+
+// ResumeSweep is RunSweep skipping the cells already present in the
+// prior output read from prev; pass the same spec and append the new
+// rows to the same file.
+func ResumeSweep(spec SweepSpec, prev io.Reader, out io.Writer) (*SweepResult, error) {
+	done, _, err := sweep.LoadCompleted(prev)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Run(spec, sweep.RunOptions{Out: out, Completed: done})
+}
+
+// SummarizeSweep aggregates rows (e.g. re-read from a finished sweep
+// file via ReadSweepRows) into per-axis marginal summaries.
+func SummarizeSweep(rows []SweepRow) []SweepAxisSummary { return sweep.Summarize(rows) }
+
+// ReadSweepRows parses a JSON-lines sweep output stream.
+func ReadSweepRows(r io.Reader) ([]SweepRow, error) { return sweep.ReadRows(r) }
 
 // ---- Extensions: bit-fix and disabling granularity ----
 

@@ -1,0 +1,53 @@
+package vccmin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeSweep(t *testing.T) {
+	spec := SweepSpec{
+		Pfails:       []float64{1e-3},
+		Schemes:      []Scheme{BlockDisable, WordDisable},
+		Benchmarks:   []string{"gzip"},
+		Trials:       1,
+		Instructions: 4_000,
+		BaseSeed:     3,
+	}
+	var buf bytes.Buffer
+	res, err := RunSweep(spec, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Computed != 2 || res.TotalCells != 2 {
+		t.Fatalf("computed %d of %d cells, want 2 of 2", res.Computed, res.TotalCells)
+	}
+	for _, r := range res.Rows {
+		if r.MeanIPC <= 0 || r.BaselineIPC <= 0 {
+			t.Errorf("cell %s missing IPC data: %+v", r.Key, r)
+		}
+	}
+
+	rows, err := ReadSweepRows(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("read back %d rows, want 2", len(rows))
+	}
+	if got := len(SummarizeSweep(rows)); got == 0 {
+		t.Error("empty summary")
+	}
+
+	// Resuming from the finished output recomputes nothing and writes
+	// nothing new.
+	var more bytes.Buffer
+	res2, err := ResumeSweep(spec, strings.NewReader(buf.String()), &more)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Computed != 0 || res2.Skipped != 2 || more.Len() != 0 {
+		t.Fatalf("resume recomputed %d cells (skipped %d, %d bytes)", res2.Computed, res2.Skipped, more.Len())
+	}
+}
