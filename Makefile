@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet sweep-demo ci
+# Coverage floor (percent) enforced by `make cover` on ./internal/...
+COVER_FLOOR ?= 75
+# Per-target budget for the `make fuzz` smoke run.
+FUZZTIME ?= 10s
+
+.PHONY: build test race bench fmt vet fuzz cover serve sweep-demo ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +28,25 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Short fuzz smoke over the checkpoint readers (go test allows one fuzz
+# target per invocation, hence two runs).
+fuzz:
+	$(GO) test ./internal/sweep -run='^$$' -fuzz=FuzzReadRows -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sweep -run='^$$' -fuzz=FuzzLoadCompleted -fuzztime=$(FUZZTIME)
+
+# Coverage over the internal packages with a hard floor.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./internal/...
+	@$(GO) tool cover -func=cover.out | tail -n 1
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < floor+0) { printf "FAIL: coverage %.1f%% below floor %s%%\n", t, floor; exit 1 } \
+		else { printf "coverage %.1f%% meets floor %s%%\n", t, floor } }'
+
+# Run the HTTP service locally with checkpoints under /tmp.
+serve:
+	$(GO) run ./cmd/vccmin-serve -addr :8780 -data /tmp/vccmin-serve-data
+
 # A small end-to-end sweep: 3 pfail points × 2 schemes, sharded 2 ways,
 # then a resume pass that must recompute nothing.
 sweep-demo:
@@ -35,4 +59,4 @@ sweep-demo:
 		-trials 2 -instructions 20000 -resume -out /tmp/sweep-demo.jsonl
 	$(GO) run ./cmd/vccmin-sweep -summarize /tmp/sweep-demo.jsonl
 
-ci: build vet fmt race bench sweep-demo
+ci: build vet fmt race bench sweep-demo cover

@@ -1,0 +1,64 @@
+// Command vccmin-serve runs the repository's HTTP service: the Section IV
+// closed-form analysis, Table I overhead, the Fig. 1 operating-point model
+// and single simulations as synchronous endpoints, and the parameter-sweep
+// engine behind an async job API with checkpoint/resume.
+//
+// Jobs are deduplicated by the canonical hash of their spec, so POSTing
+// the same sweep twice returns the first job, finished or not. Sweep
+// checkpoints live under -data; restarting the server against the same
+// directory resumes interrupted jobs without recomputing finished cells.
+//
+// Usage:
+//
+//	vccmin-serve -addr :8780 -data ./serve-data -workers 2
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight jobs
+// drain up to -drain-timeout, and anything still running is checkpointed
+// for the next start.
+//
+// Quick check:
+//
+//	curl 'localhost:8780/v1/capacity?pfail=1e-3'
+//	curl -X POST localhost:8780/v1/sweeps -d '{"pfails":[0.001],"schemes":["block"]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vccmin/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8780", "listen address")
+		data    = flag.String("data", "vccmin-serve-data", "directory for sweep-job specs and row checkpoints")
+		workers = flag.Int("workers", 2, "concurrently running sweep jobs")
+		cache   = flag.Int("cache", 512, "LRU entries for synchronous-endpoint responses")
+		maxGrid = flag.Int("max-grid", 4096, "largest accepted sweep grid (cells)")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "vccmin-serve: listening on %s, data in %s\n", *addr, *data)
+	err := service.Serve(ctx, service.Config{
+		Addr:         *addr,
+		DataDir:      *data,
+		Workers:      *workers,
+		CacheEntries: *cache,
+		MaxGridCells: *maxGrid,
+		DrainTimeout: *drain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vccmin-serve:", err)
+		os.Exit(1)
+	}
+}

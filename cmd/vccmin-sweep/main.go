@@ -90,46 +90,35 @@ func main() {
 		spec.Benchmarks = strings.Split(*benchmarks, ",")
 	}
 
-	opt := sweep.RunOptions{Out: os.Stdout}
-	if *out != "" {
-		valid := int64(-1)
-		if *resume {
-			if f, err := os.Open(*out); err == nil {
-				opt.Completed, valid, err = sweep.LoadCompleted(f)
-				f.Close()
-				if err != nil {
-					fatal(fmt.Errorf("loading %s: %w", *out, err))
-				}
-			} else if !os.IsNotExist(err) {
-				fatal(err)
-			}
-		}
-		mode := os.O_CREATE | os.O_WRONLY
-		if *resume {
-			mode |= os.O_APPEND
-		} else {
-			mode |= os.O_TRUNC
-		}
-		f, err := os.OpenFile(*out, mode, 0o644)
+	var res *sweep.Result
+	switch {
+	case *resume && *out == "":
+		fatal(fmt.Errorf("-resume needs -out"))
+	case *resume:
+		// ResumeFile loads the checkpoint, truncates any torn final line
+		// and appends the missing cells on the valid prefix's boundary.
+		res, err = sweep.ResumeFile(spec, *out, sweep.RunOptions{})
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		if valid >= 0 {
-			// Drop any partial trailing line a killed run left behind;
-			// appended rows start on the valid prefix's boundary.
-			if err := f.Truncate(valid); err != nil {
+		if res.ResumeTornBytes > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: dropped %d bytes of torn final line from %s (valid prefix %d bytes)\n",
+				res.ResumeTornBytes, *out, res.ResumeValidBytes)
+		}
+	default:
+		opt := sweep.RunOptions{Out: os.Stdout}
+		if *out != "" {
+			f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+			if err != nil {
 				fatal(err)
 			}
+			defer f.Close()
+			opt.Out = f
 		}
-		opt.Out = f
-	} else if *resume {
-		fatal(fmt.Errorf("-resume needs -out"))
-	}
-
-	res, err := sweep.Run(spec, opt)
-	if err != nil {
-		fatal(err)
+		res, err = sweep.Run(spec, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep: grid %d cells, shard %d/%d owns %d: computed %d, skipped %d (resume)\n",
 		res.TotalCells, *shard, *shards, res.ShardCells, res.Computed, res.Skipped)
@@ -177,19 +166,7 @@ func parseRange(s string) (lo, hi float64, n int, ok bool) {
 }
 
 func parseGeoms(s string) ([]geom.Geometry, error) {
-	return parseList(s, func(v string) (geom.Geometry, error) {
-		parts := strings.Split(v, "x")
-		if len(parts) != 3 {
-			return geom.Geometry{}, fmt.Errorf("bad geometry %q (want SIZExWAYSxBLOCK)", v)
-		}
-		size, err1 := strconv.Atoi(parts[0])
-		ways, err2 := strconv.Atoi(parts[1])
-		block, err3 := strconv.Atoi(parts[2])
-		if err1 != nil || err2 != nil || err3 != nil {
-			return geom.Geometry{}, fmt.Errorf("bad geometry %q (want SIZExWAYSxBLOCK)", v)
-		}
-		return geom.New(size, ways, block)
-	})
+	return parseList(s, geom.Parse)
 }
 
 func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {

@@ -1,0 +1,176 @@
+package vccmin_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vccmin"
+)
+
+// The golden-regression corpus pins byte-stable outputs under
+// testdata/golden/. Any refactor that changes a byte of a sweep row, its
+// field order, a float rendering or a Table I count shows up as a diff
+// here. After an intentional contract change, regenerate with
+//
+//	go test . -run Golden -update
+//
+// and review the diff like any other code change.
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+func goldenPath(name string) string { return filepath.Join("testdata", "golden", name) }
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (%d vs %d bytes).\nIf the change is intentional, regenerate with: go test . -run Golden -update\ngot:\n%s\nwant:\n%s",
+			name, len(got), len(want), clip(got), clip(want))
+	}
+}
+
+func clip(b []byte) []byte {
+	const max = 2000
+	if len(b) > max {
+		return append(append([]byte{}, b[:max]...), "…"...)
+	}
+	return b
+}
+
+// goldenSweepSpec is the corpus sweep: tiny (4 cells, one benchmark, a
+// 2k-instruction budget) but crossing a fault-dependent and a
+// fault-independent scheme so the rows exercise both evaluation paths.
+// Do not change it — changing the spec changes every row's seed stream.
+func goldenSweepSpec() vccmin.SweepSpec {
+	return vccmin.SweepSpec{
+		Pfails:       []float64{0.001, 0.005},
+		Schemes:      []vccmin.Scheme{vccmin.Baseline, vccmin.BlockDisable},
+		Benchmarks:   []string{"crafty"},
+		Trials:       2,
+		Instructions: 2000,
+		BaseSeed:     7,
+	}
+}
+
+// TestGoldenSweepRows pins the exact JSONL stream of the corpus sweep:
+// cell keys, seed derivation, simulation results and float rendering.
+func TestGoldenSweepRows(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := vccmin.RunSweep(goldenSweepSpec(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Computed != 4 {
+		t.Fatalf("corpus sweep computed %d cells, want 4", res.Computed)
+	}
+	checkGolden(t, "sweep_tiny.jsonl", buf.Bytes())
+}
+
+// TestGoldenSweepSummary pins the per-axis aggregation of the same rows.
+func TestGoldenSweepSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := vccmin.RunSweep(goldenSweepSpec(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := vccmin.ReadSweepRows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(vccmin.SummarizeSweep(rows), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sweep_tiny_summary.json", append(got, '\n'))
+}
+
+// goldenOverheadRow spells out a Table I row for the corpus (the internal
+// Row marshals its Scheme as an opaque int).
+type goldenOverheadRow struct {
+	Scheme             string `json:"scheme"`
+	TagTransistors     int    `json:"tag_transistors"`
+	DisableTransistors int    `json:"disable_transistors"`
+	VictimTransistors  int    `json:"victim_transistors"`
+	AlignmentNetwork   bool   `json:"alignment_network"`
+	Total              int    `json:"total"`
+}
+
+// TestGoldenTableI pins the paper's Table I transistor accounting.
+func TestGoldenTableI(t *testing.T) {
+	rows := vccmin.TableI()
+	out := make([]goldenOverheadRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, goldenOverheadRow{
+			Scheme:             r.Scheme.String(),
+			TagTransistors:     r.TagTransistors,
+			DisableTransistors: r.DisableTransistors,
+			VictimTransistors:  r.VictimTransistors,
+			AlignmentNetwork:   r.AlignmentNetwork,
+			Total:              r.Total,
+		})
+	}
+	got, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.json", append(got, '\n'))
+}
+
+// TestGoldenResumeStitch proves the golden stream is reachable through the
+// resume path too: truncate the corpus output mid-stream (torn final
+// line), resume, and require byte-identity with the golden file.
+func TestGoldenResumeStitch(t *testing.T) {
+	var full bytes.Buffer
+	if _, err := vccmin.RunSweep(goldenSweepSpec(), &full); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(full.Bytes(), []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("corpus too small to tear: %d lines", len(lines))
+	}
+	// Keep two complete rows plus a torn fragment of the third.
+	torn := append([]byte{}, lines[0]...)
+	torn = append(torn, lines[1]...)
+	torn = append(torn, lines[2][:len(lines[2])/2]...)
+
+	var rest bytes.Buffer
+	res, err := vccmin.ResumeSweep(goldenSweepSpec(), bytes.NewReader(torn), &rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 2 || res.Computed != 2 {
+		t.Fatalf("resume skipped %d computed %d, want 2 and 2", res.Skipped, res.Computed)
+	}
+	if res.ResumeTornBytes != int64(len(lines[2])/2) {
+		t.Fatalf("ResumeTornBytes = %d, want %d", res.ResumeTornBytes, len(lines[2])/2)
+	}
+	if res.ResumeValidBytes != int64(len(lines[0])+len(lines[1])) {
+		t.Fatalf("ResumeValidBytes = %d, want %d", res.ResumeValidBytes, len(lines[0])+len(lines[1]))
+	}
+	stitched := append(torn[:res.ResumeValidBytes], rest.Bytes()...)
+	want, err := os.ReadFile(goldenPath("sweep_tiny.jsonl"))
+	if err != nil {
+		t.Skipf("golden file missing (run -update first): %v", err)
+	}
+	if !bytes.Equal(stitched, want) {
+		t.Fatal("resume-stitched stream differs from the golden corpus")
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strconv"
+
+	"vccmin/internal/core"
+	"vccmin/internal/faults"
+	"vccmin/internal/geom"
+	"vccmin/internal/prob"
+)
+
+// MeasuredBlockDisableCapacity estimates Eq. 2 by Monte Carlo: the mean
+// fraction of fault-free blocks over trials fault maps drawn at pfail.
+// Seeds derive per trial from seed, so the estimate is reproducible. This
+// is the empirical counterpart the property tests (and the service's
+// measured-capacity query) hold against prob.ExpectedCapacity.
+func MeasuredBlockDisableCapacity(g geom.Geometry, pfail float64, trials int, seed int64) float64 {
+	if trials <= 0 {
+		trials = 1
+	}
+	sum := 0.0
+	for t := 0; t < trials; t++ {
+		m := faults.GenerateMap(g, 32, pfail, faults.DeriveSeed(seed, "capacity-trial", strconv.Itoa(t)))
+		sum += core.BuildBlockDisable(m).CapacityFraction()
+	}
+	return sum / float64(trials)
+}
+
+// AnalyticBlockDisableCapacity is Eq. 2 for g at pfail — the closed form
+// MeasuredBlockDisableCapacity converges to.
+func AnalyticBlockDisableCapacity(g geom.Geometry, pfail float64) float64 {
+	return prob.ExpectedCapacity(g.CellsPerBlock(), pfail)
+}

@@ -6,7 +6,11 @@
 // offset, a 24-bit tag and one valid bit per block (Table I).
 package geom
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Addr is a physical byte address.
 type Addr uint64
@@ -36,6 +40,22 @@ func New(sizeBytes, ways, blockBytes int) (Geometry, error) {
 		return Geometry{}, err
 	}
 	return g, nil
+}
+
+// Parse converts the CLI- and API-style "SIZExWAYSxBLOCK" form (e.g.
+// "32768x8x64") into a validated geometry.
+func Parse(s string) (Geometry, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return Geometry{}, fmt.Errorf("geom: bad geometry %q (want SIZExWAYSxBLOCK)", s)
+	}
+	size, err1 := strconv.Atoi(parts[0])
+	ways, err2 := strconv.Atoi(parts[1])
+	block, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Geometry{}, fmt.Errorf("geom: bad geometry %q (want SIZExWAYSxBLOCK)", s)
+	}
+	return New(size, ways, block)
 }
 
 // MustNew is New but panics on invalid geometry; for tests and constants.

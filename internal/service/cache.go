@@ -1,0 +1,79 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a thread-safe LRU of marshalled responses keyed by canonical
+// request strings. Every result the service computes is deterministic
+// (seeds derive from request parameters), so cached bytes never go stale —
+// the cache only bounds memory, it never needs invalidation.
+type lruCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List
+	items   map[string]*list.Element
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(max int) *lruCache {
+	if max <= 0 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached bytes for key and records a hit or miss.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put stores val under key, evicting the least recently used entry when
+// the cache is full.
+func (c *lruCache) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*lruEntry).key)
+		c.evicted++
+	}
+}
+
+// CacheStats is the cache section of the /v1/stats response.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Evicted uint64 `json:"evicted"`
+	Entries int    `json:"entries"`
+	Max     int    `json:"max"`
+}
+
+func (c *lruCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evicted: c.evicted, Entries: c.ll.Len(), Max: c.max}
+}

@@ -1,0 +1,417 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vccmin/internal/sweep"
+)
+
+// The async job subsystem. A job is one sweep.Spec execution; its identity
+// is the spec's canonical hash, so enqueueing an identical spec twice
+// yields the same job — the second POST is a cache hit that costs nothing.
+//
+// Jobs survive restarts through two files per job in the data directory:
+//
+//	<id>.spec.json   the spec, written before the job is first queued
+//	<id>.rows.jsonl  the row checkpoint, appended in cell order
+//	<id>.done.json   the final snapshot, written only on success
+//
+// A manager starting over an existing directory re-registers finished
+// jobs from their done markers and re-enqueues unfinished ones; the sweep
+// engine's ResumeFile path then skips every cell already in the row
+// checkpoint, so a kill mid-sweep costs at most one torn line.
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle: queued → running → done | failed. A job interrupted by
+// shutdown returns to queued (its checkpoint keeps it resumable).
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// JobSnapshot is a point-in-time public view of a job.
+type JobSnapshot struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+
+	// Resumed reports that the job recovered a prior checkpoint (after a
+	// restart or a duplicate enqueue of an interrupted job).
+	Resumed bool `json:"resumed,omitempty"`
+
+	TotalCells int `json:"total_cells"`
+	ShardCells int `json:"shard_cells"`
+	Computed   int `json:"computed"`
+	Skipped    int `json:"skipped"` // cells recovered from the checkpoint, not recomputed
+
+	// TornBytes counts checkpoint bytes dropped on resume (a final line
+	// torn by a kill mid-write); almost always zero.
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+
+	Error string `json:"error,omitempty"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+type job struct {
+	id   string
+	spec sweep.Spec
+
+	mu   sync.Mutex
+	snap JobSnapshot
+}
+
+func (j *job) snapshot() JobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snap
+}
+
+func (j *job) update(f func(*JobSnapshot)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f(&j.snap)
+}
+
+// Manager owns the job table, the bounded worker pool and the on-disk
+// checkpoints.
+type Manager struct {
+	dir     string
+	queue   chan *job
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	now     func() time.Time
+	workers int
+
+	mu   sync.RWMutex
+	jobs map[string]*job
+
+	draining  atomic.Bool
+	running   atomic.Int64
+	queued    atomic.Int64
+	dedupHits atomic.Uint64
+}
+
+// NewManager starts workers goroutines over the data directory, creating
+// it if needed, re-registering finished jobs and re-enqueueing unfinished
+// ones found there.
+func NewManager(dir string, workers int) (*Manager, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("service: job manager needs a data directory")
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	specs, err := filepath.Glob(filepath.Join(dir, "*.spec.json"))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		dir: dir,
+		// Sized to hold every recovered job plus fresh headroom: recover
+		// enqueues before the workers start, so a smaller channel would
+		// block NewManager forever on a large enough backlog.
+		queue:   make(chan *job, len(specs)+1024),
+		ctx:     ctx,
+		cancel:  cancel,
+		now:     time.Now,
+		workers: workers,
+		jobs:    make(map[string]*job),
+	}
+	if err := m.recover(specs); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// recover walks the spec files found in the data directory: jobs with a
+// done or failed marker are re-registered in that terminal state, the
+// rest are re-enqueued as resumed jobs.
+func (m *Manager) recover(specs []string) error {
+	for _, path := range specs {
+		id := strings.TrimSuffix(filepath.Base(path), ".spec.json")
+		var spec sweep.Spec
+		if err := readJSONFile(path, &spec); err != nil {
+			return fmt.Errorf("service: recovering job %s: %w", id, err)
+		}
+		j := &job{id: id, spec: spec}
+		terminal := false
+		for _, marker := range []string{m.donePath(id), m.failedPath(id)} {
+			var snap JobSnapshot
+			err := readJSONFile(marker, &snap)
+			if err == nil {
+				j.snap = snap
+				terminal = true
+				break
+			}
+			if !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("service: recovering job %s: %w", id, err)
+			}
+		}
+		if terminal {
+			m.jobs[id] = j
+			continue
+		}
+		j.snap = JobSnapshot{ID: id, Status: JobQueued, Resumed: true, CreatedAt: m.now().UTC()}
+		m.jobs[id] = j
+		m.queued.Add(1)
+		m.queue <- j
+	}
+	return nil
+}
+
+// Enqueue registers the spec for execution and returns its job. If an
+// identical spec (same canonical hash) is already known — queued, running
+// or finished — that job is returned with cached=true and nothing new is
+// scheduled: deterministic seeds make every sweep result reusable.
+func (m *Manager) Enqueue(spec sweep.Spec) (JobSnapshot, bool, error) {
+	id := spec.CanonicalHash()
+
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		m.mu.Unlock()
+		m.dedupHits.Add(1)
+		return j.snapshot(), true, nil
+	}
+	if m.draining.Load() {
+		m.mu.Unlock()
+		return JobSnapshot{}, false, errDraining
+	}
+	j := &job{id: id, spec: spec}
+	j.snap = JobSnapshot{ID: id, Status: JobQueued, CreatedAt: m.now().UTC()}
+	m.jobs[id] = j
+	m.mu.Unlock()
+
+	if err := writeJSONFile(m.specPath(id), spec); err != nil {
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		return JobSnapshot{}, false, err
+	}
+	select {
+	case m.queue <- j:
+		m.queued.Add(1)
+		return j.snapshot(), false, nil
+	default:
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		os.Remove(m.specPath(id))
+		return JobSnapshot{}, false, errQueueFull
+	}
+}
+
+var (
+	errDraining  = errors.New("service: shutting down, not accepting jobs")
+	errQueueFull = errors.New("service: job queue full")
+)
+
+// Get returns the job's current snapshot.
+func (m *Manager) Get(id string) (JobSnapshot, bool) {
+	m.mu.RLock()
+	j, ok := m.jobs[id]
+	m.mu.RUnlock()
+	if !ok {
+		return JobSnapshot{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns a snapshot of every known job, newest first.
+func (m *Manager) List() []JobSnapshot {
+	m.mu.RLock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.RUnlock()
+	out := make([]JobSnapshot, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot())
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].CreatedAt.After(out[k-1].CreatedAt); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// RowsPath returns the job's JSONL checkpoint file path.
+func (m *Manager) RowsPath(id string) string { return filepath.Join(m.dir, id+".rows.jsonl") }
+
+func (m *Manager) specPath(id string) string   { return filepath.Join(m.dir, id+".spec.json") }
+func (m *Manager) donePath(id string) string   { return filepath.Join(m.dir, id+".done.json") }
+func (m *Manager) failedPath(id string) string { return filepath.Join(m.dir, id+".failed.json") }
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			// running rises before queued falls: Drain polls for both
+			// counters at zero, and the opposite order opens a window
+			// where a mid-handoff job looks already drained.
+			m.running.Add(1)
+			m.queued.Add(-1)
+			m.run(j)
+			m.running.Add(-1)
+		}
+	}
+}
+
+// run executes one job through the checkpointed resume path, so an
+// interrupted execution is recoverable cell-for-cell.
+func (m *Manager) run(j *job) {
+	started := m.now().UTC()
+	j.update(func(s *JobSnapshot) {
+		s.Status = JobRunning
+		s.StartedAt = &started
+	})
+	res, err := sweep.ResumeFile(j.spec, m.RowsPath(j.id), sweep.RunOptions{
+		Context: m.ctx,
+		OnProgress: func(p sweep.Progress) {
+			j.update(func(s *JobSnapshot) {
+				s.TotalCells = p.TotalCells
+				s.ShardCells = p.ShardCells
+				s.Skipped = p.Skipped
+				s.Computed = p.Flushed
+			})
+		},
+	})
+	finished := m.now().UTC()
+	switch {
+	case err == nil:
+		j.update(func(s *JobSnapshot) {
+			s.Status = JobDone
+			s.TotalCells = res.TotalCells
+			s.ShardCells = res.ShardCells
+			s.Computed = res.Computed
+			s.Skipped = res.Skipped
+			s.Resumed = s.Resumed || res.Skipped > 0
+			s.TornBytes = res.ResumeTornBytes
+			s.FinishedAt = &finished
+		})
+		if werr := writeJSONFile(m.donePath(j.id), j.snapshot()); werr != nil {
+			// The job finished; a missing marker only costs a re-resume
+			// (all cells skipped) after the next restart.
+			j.update(func(s *JobSnapshot) { s.Error = "done marker: " + werr.Error() })
+		}
+	case errors.Is(err, context.Canceled):
+		// Shutdown, not failure: the checkpoint keeps the job resumable
+		// and the next manager over this directory re-enqueues it.
+		j.update(func(s *JobSnapshot) { s.Status = JobQueued })
+	default:
+		j.update(func(s *JobSnapshot) {
+			s.Status = JobFailed
+			s.Error = err.Error()
+			s.FinishedAt = &finished
+		})
+		// Persist the failure so a restart re-registers it instead of
+		// silently resurrecting the job and re-running a deterministic
+		// failure after every start.
+		if werr := writeJSONFile(m.failedPath(j.id), j.snapshot()); werr != nil {
+			j.update(func(s *JobSnapshot) { s.Error += "; failed marker: " + werr.Error() })
+		}
+	}
+}
+
+// Drain stops accepting new jobs and waits for the queue to empty and the
+// running jobs to finish, or for ctx to expire — the graceful half of
+// shutdown. Call Close afterwards either way.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.draining.Store(true)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if m.queued.Load() == 0 && m.running.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close cancels any still-running jobs (their checkpoints keep them
+// resumable) and waits for the workers to exit.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// JobStats is the jobs section of the /v1/stats response.
+type JobStats struct {
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Done      int    `json:"done"`
+	Failed    int    `json:"failed"`
+	DedupHits uint64 `json:"dedup_hits"`
+}
+
+func (m *Manager) stats() JobStats {
+	st := JobStats{DedupHits: m.dedupHits.Load()}
+	for _, s := range m.List() {
+		switch s.Status {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		}
+	}
+	return st
+}
+
+func readJSONFile(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}
+
+// writeJSONFile writes atomically (temp file + rename) so a kill mid-write
+// never leaves a half-written spec or done marker.
+func writeJSONFile(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

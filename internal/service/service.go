@@ -1,0 +1,682 @@
+// Package service is the long-running HTTP face of the repository: the
+// closed-form Section IV analysis, the Table I overhead accounting, the
+// Fig. 1 operating-point model and single simulations as cheap synchronous
+// endpoints, and the PR-1 parameter-sweep engine behind an async job
+// subsystem with checkpoint/resume and result deduplication.
+//
+// Endpoints (all JSON; errors use the {"error":{"status","message"}}
+// envelope):
+//
+//	GET  /v1/healthz                 liveness
+//	GET  /v1/stats                   cache and job counters
+//	GET  /v1/capacity                Eq. 1-6 analytics (+ optional Monte Carlo check)
+//	GET  /v1/operating-point         Fig. 1 model at a pfail or performance floor
+//	GET  /v1/overhead                Table I transistor rows
+//	POST /v1/sim                     one simulation run, synchronous
+//	POST /v1/sweeps                  enqueue a sweep job (202; idempotent by spec hash)
+//	GET  /v1/sweeps                  list jobs
+//	GET  /v1/sweeps/{id}             job status and progress
+//	GET  /v1/sweeps/{id}/rows        the job's JSONL rows, streamed
+//
+// Determinism is what makes the serving layer simple: every result is a
+// pure function of the request (seeds derive from parameters), so the LRU
+// response cache and the sweep-job deduplication need no invalidation.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"vccmin/internal/experiments"
+	"vccmin/internal/faults"
+	"vccmin/internal/geom"
+	"vccmin/internal/power"
+	"vccmin/internal/prob"
+	"vccmin/internal/sim"
+	"vccmin/internal/sweep"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Addr is the listen address for Serve; default ":8780".
+	Addr string
+
+	// DataDir holds sweep-job specs and row checkpoints; jobs found there
+	// resume on startup. Default "vccmin-serve-data".
+	DataDir string
+
+	// Workers bounds concurrently running sweep jobs; default 2. Cell
+	// parallelism inside a job is the spec's own Workers field.
+	Workers int
+
+	// CacheEntries bounds the synchronous-endpoint LRU; default 512.
+	CacheEntries int
+
+	// MaxGridCells rejects sweep specs whose grids exceed it; default 4096.
+	MaxGridCells int
+
+	// DrainTimeout bounds the graceful half of shutdown; default 30s.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8780"
+	}
+	if c.DataDir == "" {
+		c.DataDir = "vccmin-serve-data"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.MaxGridCells <= 0 {
+		c.MaxGridCells = 4096
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server routes the API over a job manager and a response cache.
+type Server struct {
+	cfg   Config
+	jobs  *Manager
+	cache *lruCache
+	mux   *http.ServeMux
+}
+
+// New builds a server, recovering any jobs checkpointed in the data
+// directory.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	jobs, err := NewManager(cfg.DataDir, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, jobs: jobs, cache: newLRU(cfg.CacheEntries), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/capacity", s.handleCapacity)
+	s.mux.HandleFunc("GET /v1/operating-point", s.handleOperatingPoint)
+	s.mux.HandleFunc("GET /v1/overhead", s.handleOverhead)
+	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepPost)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/rows", s.handleSweepRows)
+	return s, nil
+}
+
+// Handler returns the routed HTTP handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Jobs exposes the job manager (for embedding and tests).
+func (s *Server) Jobs() *Manager { return s.jobs }
+
+// Drain stops accepting jobs and waits for in-flight ones, bounded by the
+// configured drain timeout.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.Drain(ctx) }
+
+// Close cancels whatever is still running; checkpoints keep it resumable.
+func (s *Server) Close() { s.jobs.Close() }
+
+// Serve runs the service at cfg.Addr until ctx is cancelled, then shuts
+// down gracefully: stop listening, drain in-flight jobs up to
+// cfg.DrainTimeout, cancel the rest (their checkpoints keep them
+// resumable).
+func Serve(ctx context.Context, cfg Config) error {
+	cfg = cfg.withDefaults()
+	s, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	err = srv.Shutdown(shCtx)
+	if derr := s.Drain(shCtx); derr != nil && err == nil {
+		err = derr
+	}
+	s.Close()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ---- Error envelope and JSON helpers ----
+
+type errorEnvelope struct {
+	Error struct {
+		Status  int    `json:"status"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	var env errorEnvelope
+	env.Error.Status = status
+	env.Error.Message = fmt.Sprintf(format, args...)
+	writeJSON(w, status, env)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"status":500,"message":"encoding response"}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// cached serves the computation identified by key through the LRU: a hit
+// replays the stored bytes (X-Cache: hit), a miss computes, stores and
+// serves them. compute errors are not cached.
+func (s *Server) cached(w http.ResponseWriter, key string, compute func() (any, error)) {
+	if b, ok := s.cache.get(key); ok {
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		return
+	}
+	v, err := compute()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encoding response: %s", err)
+		return
+	}
+	b = append(b, '\n')
+	s.cache.put(key, b)
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// ---- Query parsing helpers ----
+
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return f, nil
+}
+
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+func queryGeom(r *http.Request) (geom.Geometry, error) {
+	v := r.URL.Query().Get("geom")
+	if v == "" {
+		return experiments.ReferenceGeometry(), nil
+	}
+	return geom.Parse(v)
+}
+
+// ---- Sync endpoints ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Stats is the /v1/stats response.
+type Stats struct {
+	Cache CacheStats `json:"cache"`
+	Jobs  JobStats   `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Stats{Cache: s.cache.stats(), Jobs: s.jobs.stats()})
+}
+
+// CapacityResponse carries the Section IV closed forms at one (geometry,
+// pfail, granularity) point, plus an optional Monte Carlo cross-check.
+type CapacityResponse struct {
+	Pfail       float64 `json:"pfail"`
+	Geometry    string  `json:"geometry"`
+	Granularity string  `json:"granularity"`
+
+	ExpectedCapacity        float64 `json:"expected_capacity"`          // Eq. 2 at the granularity
+	MeanFaultyBlockFraction float64 `json:"mean_faulty_block_fraction"` // 1 - Eq. 2 per block
+	WordDisableFailProb     float64 `json:"word_disable_fail_prob"`     // Eqs. 4-5
+	IncrementalWDCapacity   float64 `json:"incremental_wd_capacity"`    // Eq. 6
+	BitFixFailProb          float64 `json:"bitfix_fail_prob"`           // extension
+
+	// Monte Carlo cross-check, present when trials > 0 is requested.
+	MeasuredCapacity *float64 `json:"measured_capacity,omitempty"`
+	Trials           int      `json:"trials,omitempty"`
+}
+
+func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	s.cached(w, "capacity?"+r.URL.RawQuery, func() (any, error) {
+		pfail, err := queryFloat(r, "pfail", 0.001)
+		if err != nil {
+			return nil, err
+		}
+		if pfail < 0 || pfail >= 1 {
+			return nil, fmt.Errorf("pfail %v out of [0,1)", pfail)
+		}
+		g, err := queryGeom(r)
+		if err != nil {
+			return nil, err
+		}
+		granName := r.URL.Query().Get("gran")
+		if granName == "" {
+			granName = "block"
+		}
+		gran, err := prob.ParseGranularity(granName)
+		if err != nil {
+			return nil, err
+		}
+		trials, err := queryInt(r, "trials", 0)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := queryInt(r, "seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		resp := CapacityResponse{
+			Pfail:                   pfail,
+			Geometry:                fmt.Sprintf("%dx%dx%d", g.SizeBytes, g.Ways, g.BlockBytes),
+			Granularity:             gran.String(),
+			ExpectedCapacity:        prob.GranularityCapacity(g, gran, pfail),
+			MeanFaultyBlockFraction: prob.MeanFaultyBlockFraction(g.CellsPerBlock(), pfail),
+			WordDisableFailProb:     prob.WordDisableWholeCacheFailProb(g.Blocks(), g.BlockBytes, 32, 8, pfail),
+			IncrementalWDCapacity:   prob.IncrementalWDCapacity(g.DataBits(), 8, 32, pfail),
+			BitFixFailProb:          prob.BitFixWholeCacheFailProb(g.Blocks(), g.DataBits(), 8, 1, pfail),
+		}
+		if trials > 0 {
+			if trials > 10_000 {
+				return nil, fmt.Errorf("trials %d too large (max 10000)", trials)
+			}
+			mc := experiments.MeasuredBlockDisableCapacity(g, pfail, trials, int64(seed))
+			resp.MeasuredCapacity = &mc
+			resp.Trials = trials
+		}
+		return resp, nil
+	})
+}
+
+// OperatingPointResponse is the Fig. 1 model's answer at one query point.
+type OperatingPointResponse struct {
+	Pfail          float64 `json:"pfail,omitempty"`
+	MinPerformance float64 `json:"min_performance,omitempty"`
+
+	Voltage              float64 `json:"voltage"`
+	Frequency            float64 `json:"frequency"`
+	Power                float64 `json:"power"`
+	Performance          float64 `json:"performance"`
+	Zone                 string  `json:"zone"`
+	EnergyPerInstruction float64 `json:"energy_per_instruction"`
+}
+
+func (s *Server) handleOperatingPoint(w http.ResponseWriter, r *http.Request) {
+	s.cached(w, "operating-point?"+r.URL.RawQuery, func() (any, error) {
+		m := power.Default()
+		if v := r.URL.Query().Get("min_performance"); v != "" {
+			minPerf, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad min_performance %q", v)
+			}
+			choice, ok := m.MostEfficientPoint(minPerf, 400)
+			if !ok {
+				return nil, fmt.Errorf("no operating point delivers performance >= %v", minPerf)
+			}
+			return OperatingPointResponse{
+				MinPerformance:       minPerf,
+				Voltage:              choice.Point.Voltage,
+				Frequency:            choice.Point.Freq,
+				Power:                choice.Point.Power,
+				Performance:          choice.Point.Performance,
+				Zone:                 choice.Point.Zone.String(),
+				EnergyPerInstruction: choice.EnergyPerWork,
+			}, nil
+		}
+		pfail, err := queryFloat(r, "pfail", 0.001)
+		if err != nil {
+			return nil, err
+		}
+		if pfail <= 0 || pfail >= 1 {
+			return nil, fmt.Errorf("pfail %v out of (0,1)", pfail)
+		}
+		p := m.OperatingPointForPfail(pfail)
+		return OperatingPointResponse{
+			Pfail:                pfail,
+			Voltage:              p.Voltage,
+			Frequency:            p.Freq,
+			Power:                p.Power,
+			Performance:          p.Performance,
+			Zone:                 p.Zone.String(),
+			EnergyPerInstruction: power.EnergyPerWork(p),
+		}, nil
+	})
+}
+
+// OverheadRow is one Table I row with the scheme spelled out.
+type OverheadRow struct {
+	Scheme             string `json:"scheme"`
+	TagTransistors     int    `json:"tag_transistors"`
+	DisableTransistors int    `json:"disable_transistors"`
+	VictimTransistors  int    `json:"victim_transistors"`
+	AlignmentNetwork   bool   `json:"alignment_network"`
+	Total              int    `json:"total"`
+}
+
+func (s *Server) handleOverhead(w http.ResponseWriter, r *http.Request) {
+	s.cached(w, "overhead", func() (any, error) {
+		rows := experiments.TableI()
+		out := make([]OverheadRow, 0, len(rows))
+		for _, row := range rows {
+			out = append(out, OverheadRow{
+				Scheme:             row.Scheme.String(),
+				TagTransistors:     row.TagTransistors,
+				DisableTransistors: row.DisableTransistors,
+				VictimTransistors:  row.VictimTransistors,
+				AlignmentNetwork:   row.AlignmentNetwork,
+				Total:              row.Total,
+			})
+		}
+		return map[string]any{"rows": out}, nil
+	})
+}
+
+// SimRequest is the POST /v1/sim body. String fields use the CLI forms
+// (scheme "block", victim "10t", mode "low"); zero values take the
+// reference defaults.
+type SimRequest struct {
+	Benchmark    string  `json:"benchmark"`
+	Mode         string  `json:"mode"`
+	Scheme       string  `json:"scheme"`
+	Victim       string  `json:"victim"`
+	Geometry     string  `json:"geometry"`
+	Pfail        float64 `json:"pfail"`
+	Seed         int64   `json:"seed"`
+	Instructions int     `json:"instructions"`
+}
+
+// SimResponse summarizes one simulation run.
+type SimResponse struct {
+	Benchmark     string  `json:"benchmark"`
+	Mode          string  `json:"mode"`
+	Scheme        string  `json:"scheme"`
+	Victim        string  `json:"victim"`
+	Pfail         float64 `json:"pfail"`
+	Seed          int64   `json:"seed"`
+	Instructions  int     `json:"instructions"`
+	IPC           float64 `json:"ipc"`
+	ICapacity     float64 `json:"i_capacity"`
+	DCapacity     float64 `json:"d_capacity"`
+	VictimHitRate float64 `json:"victim_hit_rate"`
+}
+
+func (req SimRequest) options() (sim.Options, error) {
+	opts := sim.Options{Benchmark: req.Benchmark, Seed: req.Seed, Instructions: req.Instructions}
+	if opts.Benchmark == "" {
+		return opts, fmt.Errorf("benchmark is required")
+	}
+	switch req.Mode {
+	case "", "low", "low-voltage":
+		opts.Mode = sim.LowVoltage
+	case "high", "high-voltage":
+		opts.Mode = sim.HighVoltage
+	default:
+		return opts, fmt.Errorf("bad mode %q (want low or high)", req.Mode)
+	}
+	var err error
+	if req.Scheme != "" {
+		if opts.Scheme, err = sim.ParseScheme(req.Scheme); err != nil {
+			return opts, err
+		}
+	}
+	if req.Victim != "" {
+		if opts.Victim, err = sim.ParseVictim(req.Victim); err != nil {
+			return opts, err
+		}
+	}
+	g := experiments.ReferenceGeometry()
+	if req.Geometry != "" {
+		if g, err = geom.Parse(req.Geometry); err != nil {
+			return opts, err
+		}
+		machine := sim.Reference(opts.Mode)
+		machine.L1Size, machine.L1Ways, machine.L1BlockBytes = g.SizeBytes, g.Ways, g.BlockBytes
+		opts.Machine = &machine
+	}
+	if req.Pfail < 0 || req.Pfail >= 1 {
+		return opts, fmt.Errorf("pfail %v out of [0,1)", req.Pfail)
+	}
+	// Fault-dependent schemes at low voltage need a fault-map pair; draw
+	// it deterministically from the request's pfail and seed.
+	if opts.Mode == sim.LowVoltage && (opts.Scheme == sim.BlockDisable ||
+		opts.Scheme == sim.IncrementalWordDisable || opts.Scheme == sim.BitFix) {
+		pair := faults.GeneratePair(g, g, 32, req.Pfail, faults.DeriveSeed(req.Seed, "serve-sim-pair"))
+		opts.Pair = &pair
+	}
+	return opts, nil
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	key, err := json.Marshal(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	s.cached(w, "sim?"+string(key), func() (any, error) {
+		opts, err := req.options()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(opts)
+		if err != nil {
+			return nil, err
+		}
+		return SimResponse{
+			Benchmark:     req.Benchmark,
+			Mode:          opts.Mode.String(),
+			Scheme:        opts.Scheme.String(),
+			Victim:        opts.Victim.String(),
+			Pfail:         req.Pfail,
+			Seed:          req.Seed,
+			Instructions:  opts.Instructions,
+			IPC:           res.IPC,
+			ICapacity:     res.ICapacity,
+			DCapacity:     res.DCapacity,
+			VictimHitRate: res.VictimHitRate,
+		}, nil
+	})
+}
+
+// ---- Async sweep endpoints ----
+
+// SweepRequest is the POST /v1/sweeps body: the sweep.Spec grid with the
+// enum axes spelled as CLI-style strings. Empty axes take the engine's
+// reference defaults.
+type SweepRequest struct {
+	Pfails        []float64 `json:"pfails"`
+	Geometries    []string  `json:"geometries"`
+	Schemes       []string  `json:"schemes"`
+	Victims       []string  `json:"victims"`
+	Granularities []string  `json:"granularities"`
+	Benchmarks    []string  `json:"benchmarks"`
+	Trials        int       `json:"trials"`
+	Instructions  int       `json:"instructions"`
+	BaseSeed      int64     `json:"base_seed"`
+	Workers       int       `json:"workers"`
+}
+
+// Spec converts the request into the engine's spec form.
+func (r SweepRequest) Spec() (sweep.Spec, error) {
+	spec := sweep.Spec{
+		Pfails:       r.Pfails,
+		Benchmarks:   r.Benchmarks,
+		Trials:       r.Trials,
+		Instructions: r.Instructions,
+		BaseSeed:     r.BaseSeed,
+		Workers:      r.Workers,
+	}
+	var err error
+	for _, g := range r.Geometries {
+		gg, err := geom.Parse(g)
+		if err != nil {
+			return spec, err
+		}
+		spec.Geometries = append(spec.Geometries, gg)
+	}
+	for _, v := range r.Schemes {
+		sc, err := sim.ParseScheme(v)
+		if err != nil {
+			return spec, err
+		}
+		spec.Schemes = append(spec.Schemes, sc)
+	}
+	for _, v := range r.Victims {
+		vk, err := sim.ParseVictim(v)
+		if err != nil {
+			return spec, err
+		}
+		spec.Victims = append(spec.Victims, vk)
+	}
+	for _, v := range r.Granularities {
+		gr, err := prob.ParseGranularity(v)
+		if err != nil {
+			return spec, err
+		}
+		spec.Granularities = append(spec.Granularities, gr)
+	}
+	return spec, err
+}
+
+// SweepAccepted is the POST /v1/sweeps response.
+type SweepAccepted struct {
+	Job    JobSnapshot `json:"job"`
+	Cached bool        `json:"cached"` // an identical spec was already known
+}
+
+func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	spec = spec.WithDefaults()
+	if err := spec.Check(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if n := len(spec.Cells()); n > s.cfg.MaxGridCells {
+		writeErr(w, http.StatusBadRequest, "grid has %d cells, limit %d", n, s.cfg.MaxGridCells)
+		return
+	}
+	snap, cached, err := s.jobs.Enqueue(spec)
+	switch {
+	case errors.Is(err, errDraining):
+		writeErr(w, http.StatusServiceUnavailable, "%s", err)
+		return
+	case errors.Is(err, errQueueFull):
+		writeErr(w, http.StatusServiceUnavailable, "%s", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%s", err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SweepAccepted{Job: snap, Cached: cached})
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleSweepRows streams the job's checkpoint as JSONL. For a running job
+// this is the flushed in-order prefix — a live progress feed.
+func (s *Server) handleSweepRows(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.jobs.Get(id); !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	f, err := os.Open(s.jobs.RowsPath(id))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// Queued job that has not flushed a row yet: an empty stream.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "%s", err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	io.Copy(w, f)
+}
+
+// decodeBody strictly parses a JSON request body.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

@@ -3,9 +3,11 @@ package sweep
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -21,6 +23,25 @@ type RunOptions struct {
 	// Completed holds cell keys to skip (resume). Build it from a partial
 	// output file with LoadCompleted.
 	Completed map[string]struct{}
+
+	// Context cancels the run between cells: already-flushed rows remain a
+	// valid checkpoint and Run returns the context's error. Nil means
+	// context.Background() (never cancelled).
+	Context context.Context
+
+	// OnProgress, if set, observes the run after each flushed row. It is
+	// called synchronously under the flush lock — it must be fast and must
+	// not call back into the run.
+	OnProgress func(Progress)
+}
+
+// Progress is a point-in-time view of a run, reported to
+// RunOptions.OnProgress after every flushed row.
+type Progress struct {
+	TotalCells int // full grid size
+	ShardCells int // cells owned by this run's shard
+	Skipped    int // owned cells skipped up front (resume)
+	Flushed    int // rows computed and written so far
 }
 
 // Result summarizes one sweep execution (one shard's view).
@@ -32,6 +53,12 @@ type Result struct {
 	Computed   int
 	Skipped    int // owned cells skipped because already completed
 	Summary    []AxisSummary
+
+	// Resume bookkeeping, set only by Resume/ResumeFile: how many bytes of
+	// the prior checkpoint were a valid row prefix, and how many trailing
+	// bytes (a line torn by a kill mid-write) were dropped.
+	ResumeValidBytes int64
+	ResumeTornBytes  int64
 }
 
 // Run evaluates the spec's grid cells owned by its shard, skipping cells
@@ -42,6 +69,10 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	spec = spec.withDefaults()
 	if err := spec.Check(); err != nil {
 		return nil, err
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	all := spec.Cells()
@@ -99,6 +130,14 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 				}
 			}
 			next++
+			if opt.OnProgress != nil {
+				opt.OnProgress(Progress{
+					TotalCells: res.TotalCells,
+					ShardCells: res.ShardCells,
+					Skipped:    res.Skipped,
+					Flushed:    next,
+				})
+			}
 		}
 		return nil
 	}
@@ -110,6 +149,10 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			if failed.Load() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				errOnce.Do(func() { firstErr = err; failed.Store(true) })
 				return
 			}
 			row, err := spec.evaluate(c)
@@ -132,13 +175,15 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 	return res, nil
 }
 
-// ReadRows parses a JSON-lines result stream (blank lines ignored).
+// ReadRows parses a JSON-lines result stream. Blank (all-whitespace)
+// lines are ignored, exactly as LoadCompleted ignores them, so the two
+// readers always agree on what a checkpoint contains.
 func ReadRows(r io.Reader) ([]Row, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var rows []Row
 	for ln := 1; sc.Scan(); ln++ {
-		line := sc.Bytes()
+		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
@@ -181,6 +226,88 @@ func LoadCompleted(r io.Reader) (done map[string]struct{}, valid int64, err erro
 		}
 		valid += int64(len(line))
 	}
+}
+
+// Resume is Run skipping the cells already present in the prior output
+// stream read from prev. The result's ResumeValidBytes and
+// ResumeTornBytes report how much of the checkpoint was a usable row
+// prefix and how many trailing bytes of a line torn by a kill mid-write
+// were excluded, so callers can log what was lost. Resume only reads
+// prev: a caller appending the new rows to the same file must first
+// truncate it to ResumeValidBytes (a torn tail left in place would fuse
+// with the first appended row into an unparseable line) — or use
+// ResumeFile, which does both. Any Completed set already in opt is
+// extended.
+func Resume(spec Spec, prev io.Reader, opt RunOptions) (*Result, error) {
+	cr := &countingReader{r: prev}
+	done, valid, err := LoadCompleted(cr)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Completed == nil {
+		opt.Completed = done
+	} else {
+		for k := range done {
+			opt.Completed[k] = struct{}{}
+		}
+	}
+	res, err := Run(spec, opt)
+	if res != nil {
+		res.ResumeValidBytes = valid
+		res.ResumeTornBytes = cr.n - valid
+	}
+	return res, err
+}
+
+// ResumeFile is Resume checkpointing through a file: cells already
+// recorded in path are skipped, a final line torn by a kill mid-write is
+// truncated away, and new rows append in cell order on the valid prefix's
+// boundary. The file is created if missing. opt.Out and opt.Completed are
+// owned by ResumeFile and must be zero.
+func ResumeFile(spec Spec, path string, opt RunOptions) (*Result, error) {
+	if opt.Out != nil || opt.Completed != nil {
+		return nil, fmt.Errorf("sweep: ResumeFile owns Out and Completed")
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := &countingReader{r: f}
+	done, valid, err := LoadCompleted(cr)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: loading %s: %w", path, err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		return nil, err
+	}
+	opt.Out = f
+	opt.Completed = done
+	res, err := Run(spec, opt)
+	if res != nil {
+		res.ResumeValidBytes = valid
+		res.ResumeTornBytes = cr.n - valid
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, f.Sync()
+}
+
+// countingReader counts bytes consumed, so Resume can size the torn tail
+// (total read minus valid prefix) without a second pass.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }

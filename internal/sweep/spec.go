@@ -17,6 +17,8 @@
 package sweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -52,6 +54,12 @@ type Spec struct {
 	ShardIndex int
 	ShardCount int
 }
+
+// WithDefaults returns the spec with every zero-valued field replaced by
+// its reference default — the form Check, Cells and CanonicalHash reason
+// about. Run applies it internally; callers that need to validate or size
+// a grid before running (e.g. the service's request gate) apply it first.
+func (s Spec) WithDefaults() Spec { return s.withDefaults() }
 
 func (s Spec) withDefaults() Spec {
 	if len(s.Pfails) == 0 {
@@ -154,3 +162,25 @@ func (s Spec) Cells() []Cell {
 
 // owns reports whether this spec's shard computes the cell.
 func (s Spec) owns(c Cell) bool { return c.Index%s.ShardCount == s.ShardIndex }
+
+// CanonicalHash digests the defaulted spec's result-defining parameters:
+// every cell key of the grid, the Monte Carlo sample sizes, the benchmark
+// list, the base seed and the shard selection. Workers is excluded — it
+// changes scheduling, never results. Two specs with equal hashes produce
+// byte-identical row streams, which makes the hash a safe cache and
+// deduplication key for sweep executions.
+func (s Spec) CanonicalHash() string {
+	s = s.withDefaults()
+	h := sha256.New()
+	fmt.Fprintf(h, "sweep-v1|seed=%d|trials=%d|instructions=%d|shard=%d/%d\n",
+		s.BaseSeed, s.Trials, s.Instructions, s.ShardIndex, s.ShardCount)
+	// Benchmarks are length-prefixed individually: a plain join would make
+	// ["a,b"] and ["a","b"] collide, and the hash is a dedup key.
+	for _, b := range s.Benchmarks {
+		fmt.Fprintf(h, "benchmark=%d:%s\n", len(b), b)
+	}
+	for _, c := range s.Cells() {
+		fmt.Fprintf(h, "%d:%s\n", c.Index, c.Key())
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}

@@ -37,11 +37,12 @@
 //	})
 //
 // See README.md for the quickstart, the CLI inventory (vccmin-analysis,
-// vccmin-faultmap, vccmin-sim, vccmin-sweep) and the build/test entry
-// points.
+// vccmin-faultmap, vccmin-sim, vccmin-sweep, vccmin-serve) and the
+// build/test entry points.
 package vccmin
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -52,6 +53,7 @@ import (
 	"vccmin/internal/overhead"
 	"vccmin/internal/power"
 	"vccmin/internal/prob"
+	"vccmin/internal/service"
 	"vccmin/internal/sim"
 	"vccmin/internal/sweep"
 	"vccmin/internal/workload"
@@ -273,14 +275,16 @@ func RunSweep(spec SweepSpec, out io.Writer) (*SweepResult, error) {
 }
 
 // ResumeSweep is RunSweep skipping the cells already present in the
-// prior output read from prev; pass the same spec and append the new
-// rows to the same file.
+// prior output read from prev; pass the same spec. The result's
+// ResumeValidBytes and ResumeTornBytes report how much of the prior
+// checkpoint was a usable row prefix and how many trailing bytes of a
+// line torn by a kill mid-write were excluded, so callers can log what
+// was lost. ResumeSweep only reads prev: when appending the new rows to
+// the same file, first truncate it to ResumeValidBytes so a torn tail
+// cannot fuse with the first appended row (sweep.ResumeFile, used by
+// vccmin-sweep -resume and the serve job runner, does both).
 func ResumeSweep(spec SweepSpec, prev io.Reader, out io.Writer) (*SweepResult, error) {
-	done, _, err := sweep.LoadCompleted(prev)
-	if err != nil {
-		return nil, err
-	}
-	return sweep.Run(spec, sweep.RunOptions{Out: out, Completed: done})
+	return sweep.Resume(spec, prev, sweep.RunOptions{Out: out})
 }
 
 // SummarizeSweep aggregates rows (e.g. re-read from a finished sweep
@@ -289,6 +293,44 @@ func SummarizeSweep(rows []SweepRow) []SweepAxisSummary { return sweep.Summarize
 
 // ReadSweepRows parses a JSON-lines sweep output stream.
 func ReadSweepRows(r io.Reader) ([]SweepRow, error) { return sweep.ReadRows(r) }
+
+// ---- Serving ----
+
+// ServeConfig sizes the HTTP service (address, data directory, worker
+// pool, response cache, grid limit, drain budget).
+type ServeConfig = service.Config
+
+// Server is the routed HTTP service over the analysis, simulation and
+// sweep layers; obtain one with NewServer and mount Handler().
+type Server = service.Server
+
+// SweepJob is a point-in-time view of an async sweep job.
+type SweepJob = service.JobSnapshot
+
+// Sweep job lifecycle states.
+const (
+	SweepJobQueued  = service.JobQueued
+	SweepJobRunning = service.JobRunning
+	SweepJobDone    = service.JobDone
+	SweepJobFailed  = service.JobFailed
+)
+
+// NewServer builds the HTTP service, recovering any sweep jobs
+// checkpointed in the configured data directory.
+func NewServer(cfg ServeConfig) (*Server, error) { return service.New(cfg) }
+
+// Serve runs the HTTP service at cfg.Addr until ctx is cancelled, then
+// shuts down gracefully: the listener stops, in-flight sweep jobs drain up
+// to the configured timeout, and anything still running is checkpointed
+// for the next start.
+func Serve(ctx context.Context, cfg ServeConfig) error { return service.Serve(ctx, cfg) }
+
+// MeasuredBlockDisableCapacity estimates Eq. 2 by Monte Carlo: the mean
+// fault-free-block fraction over trials maps drawn at pfail — the
+// empirical counterpart of ExpectedBlockDisableCapacity.
+func MeasuredBlockDisableCapacity(g Geometry, pfail float64, trials int, seed int64) float64 {
+	return experiments.MeasuredBlockDisableCapacity(g, pfail, trials, seed)
+}
 
 // ---- Extensions: bit-fix and disabling granularity ----
 

@@ -1,0 +1,100 @@
+package vccmin_test
+
+import (
+	"math"
+	"testing"
+
+	"vccmin"
+)
+
+// TestAnalyticMatchesMonteCarloCapacity holds Eq. 2 against the mechanism
+// it models: across a pfail ladder, the closed-form expected block-disable
+// capacity must match the mean measured capacity of actually generated
+// fault maps. With 512 blocks per map and 60 maps the standard error of
+// the mean stays under 0.003 everywhere on the ladder, so a 0.01 absolute
+// tolerance is ~3 sigma with deterministic seeds (no flakes).
+func TestAnalyticMatchesMonteCarloCapacity(t *testing.T) {
+	g := vccmin.ReferenceGeometry()
+	const trials = 60
+	for _, pfail := range []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2} {
+		want := vccmin.ExpectedBlockDisableCapacity(g, pfail)
+		got := vccmin.MeasuredBlockDisableCapacity(g, pfail, trials, 12345)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("pfail %g: measured capacity %.4f vs analytic %.4f (|diff| > 0.01)",
+				pfail, got, want)
+		}
+	}
+}
+
+// TestAnalyticCapacityMonotonicity: more faults can only cost capacity,
+// in both the analytic and the measured view.
+func TestAnalyticCapacityMonotonicity(t *testing.T) {
+	g := vccmin.ReferenceGeometry()
+	ladder := []float64{0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2}
+	for i := 1; i < len(ladder); i++ {
+		lo := vccmin.ExpectedBlockDisableCapacity(g, ladder[i])
+		hi := vccmin.ExpectedBlockDisableCapacity(g, ladder[i-1])
+		if lo > hi {
+			t.Errorf("analytic capacity rose with pfail: %.4f@%g > %.4f@%g",
+				lo, ladder[i], hi, ladder[i-1])
+		}
+	}
+	if c := vccmin.ExpectedBlockDisableCapacity(g, 0); c != 1 {
+		t.Errorf("capacity at pfail 0 = %v, want 1", c)
+	}
+}
+
+// TestGranularityCapacityOrdering: coarser disabling units lose capacity
+// faster, so the capacity ordering follows the unit sizes. For the
+// reference geometry (64 sets × 8 ways) a set unit spans 8 blocks and a
+// way unit 64, so block ≥ set ≥ way; for a tall 4-set 16-way geometry the
+// way unit (4 blocks) is smaller than the set unit (16), flipping the
+// inner pair. Both orderings must come out of the same formula.
+func TestGranularityCapacityOrdering(t *testing.T) {
+	ladder := []float64{1e-4, 5e-4, 1e-3, 5e-3}
+
+	ref := vccmin.ReferenceGeometry() // 64 sets, 8 ways: block >= set >= way
+	for _, pfail := range ladder {
+		block := vccmin.GranularityCapacity(ref, vccmin.GranularityBlock, pfail)
+		set := vccmin.GranularityCapacity(ref, vccmin.GranularitySet, pfail)
+		way := vccmin.GranularityCapacity(ref, vccmin.GranularityWay, pfail)
+		if !(block >= set && set >= way) {
+			t.Errorf("reference geometry, pfail %g: want block >= set >= way, got %.4f %.4f %.4f",
+				pfail, block, set, way)
+		}
+		for name, c := range map[string]float64{"block": block, "set": set, "way": way} {
+			if c < 0 || c > 1 {
+				t.Errorf("pfail %g: %s capacity %v out of [0,1]", pfail, name, c)
+			}
+		}
+	}
+
+	tall, err := vccmin.NewGeometry(4096, 16, 64) // 4 sets, 16 ways: block >= way >= set
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pfail := range ladder {
+		block := vccmin.GranularityCapacity(tall, vccmin.GranularityBlock, pfail)
+		set := vccmin.GranularityCapacity(tall, vccmin.GranularitySet, pfail)
+		way := vccmin.GranularityCapacity(tall, vccmin.GranularityWay, pfail)
+		if !(block >= way && way >= set) {
+			t.Errorf("tall geometry, pfail %g: want block >= way >= set, got %.4f %.4f %.4f",
+				pfail, block, way, set)
+		}
+	}
+}
+
+// TestMeasuredBlockDisableCapacityDeterminism: equal seeds reproduce the
+// estimate exactly; different seeds vary it (it is a real Monte Carlo).
+func TestMeasuredBlockDisableCapacityDeterminism(t *testing.T) {
+	g := vccmin.ReferenceGeometry()
+	a := vccmin.MeasuredBlockDisableCapacity(g, 1e-3, 10, 42)
+	b := vccmin.MeasuredBlockDisableCapacity(g, 1e-3, 10, 42)
+	if a != b {
+		t.Fatalf("same seed produced %v then %v", a, b)
+	}
+	c := vccmin.MeasuredBlockDisableCapacity(g, 1e-3, 10, 43)
+	if a == c {
+		t.Fatalf("different seeds produced identical estimates %v", a)
+	}
+}
