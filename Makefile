@@ -5,7 +5,7 @@ COVER_FLOOR ?= 75
 # Per-target budget for the `make fuzz` smoke run.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench fmt vet fuzz cover serve sweep-demo ci
+.PHONY: build test race bench bench-json bench-gate fmt vet fuzz cover serve sweep-demo ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Record the smoke benchmark suite as the next machine-readable
+# BENCH_<n>.json snapshot and gate against the previous one (see
+# cmd/vccmin-bench for flags; -bench . -pkg ./... runs everything).
+bench-json:
+	$(GO) run ./cmd/vccmin-bench -write
+
+# The CI regression gate: rerun the smoke suite and compare against the
+# checked-in baseline without advancing the snapshot numbering.
+bench-gate:
+	$(GO) run ./cmd/vccmin-bench -out BENCH_ci.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

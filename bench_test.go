@@ -9,6 +9,7 @@
 package vccmin
 
 import (
+	"strconv"
 	"testing"
 
 	"vccmin/internal/cache"
@@ -298,6 +299,41 @@ func BenchmarkFaultMapGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		NewFaultMap(g, 0.001, int64(i))
 	}
+}
+
+// ---- Monte Carlo capacity estimation (the sparse fast path end to end) ----
+
+// benchCapacityTrials sizes the estimator benches: enough draws to
+// amortize pool start-up, small enough for a smoke-scale gate run.
+const benchCapacityTrials = 32
+
+// BenchmarkMeasuredCapacityDenseSerial is the pre-fast-path reference:
+// one dense per-seed fault map per trial, drawn serially — what
+// MeasuredBlockDisableCapacity cost before the sparse sampler and the
+// parallel executor.
+func BenchmarkMeasuredCapacityDenseSerial(b *testing.B) {
+	g := geom.MustNew(32*1024, 8, 64)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sum := 0.0
+		for t := 0; t < benchCapacityTrials; t++ {
+			m := faults.GenerateMap(g, 32, 0.001, faults.DeriveSeed(1, "capacity-trial", strconv.Itoa(t)))
+			sum += BuildBlockDisable(m).CapacityFraction()
+		}
+		sink = sum / benchCapacityTrials
+	}
+	b.ReportMetric(sink, "capacity")
+}
+
+// BenchmarkMeasuredCapacitySparseParallel is the shipped estimator:
+// sparse sampling, per-worker map reuse, all CPUs.
+func BenchmarkMeasuredCapacitySparseParallel(b *testing.B) {
+	g := geom.MustNew(32*1024, 8, 64)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = MeasuredBlockDisableCapacity(g, 0.001, benchCapacityTrials, 1)
+	}
+	b.ReportMetric(sink, "capacity")
 }
 
 func BenchmarkWorkloadGeneration(b *testing.B) {

@@ -6,9 +6,11 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"vccmin"
+	"vccmin/internal/benchreg"
 )
 
 // The golden-regression corpus pins byte-stable outputs under
@@ -132,6 +134,78 @@ func TestGoldenTableI(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "table1.json", append(got, '\n'))
+}
+
+// goldenBenchSnapshot is a canonical BENCH_<n>.json payload exercising
+// every schema field: procs, benchmem columns, custom metrics and
+// sub-benchmark names. Do not edit casually — the fixture pins the
+// on-disk schema the CI regression gate consumes.
+func goldenBenchSnapshot() *benchreg.Snapshot {
+	return &benchreg.Snapshot{
+		SchemaVersion: benchreg.SchemaVersion,
+		CreatedAt:     "2026-07-27T00:00:00Z",
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		Command:       "go test -run ^$ -bench . -benchtime 100ms -count 1 -benchmem .",
+		Benchmarks: []benchreg.Benchmark{
+			{
+				Name:       "BenchmarkFaultMapGeneration",
+				Procs:      8,
+				Iterations: 32941,
+				NsPerOp:    10568,
+			},
+			{
+				Name:        "BenchmarkGenerateMapSparseReuse/L1-32K/pfail=0.001",
+				Procs:       8,
+				Iterations:  106099,
+				NsPerOp:     4530,
+				BytesPerOp:  0,
+				AllocsPerOp: 0,
+			},
+			{
+				Name:       "BenchmarkFig8LowVoltage",
+				Procs:      8,
+				Iterations: 7,
+				NsPerOp:    163000000,
+				Metrics: map[string]float64{
+					"blockDis-norm": 0.978,
+					"wordDis-norm":  0.806,
+				},
+			},
+		},
+	}
+}
+
+// TestGoldenBenchSchema pins the BENCH JSON schema byte for byte and
+// proves it round-trips: the golden fixture decodes into the canonical
+// snapshot, and re-encoding reproduces the file exactly.
+func TestGoldenBenchSchema(t *testing.T) {
+	snap := goldenBenchSnapshot()
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "bench_schema.json", buf.Bytes())
+
+	raw, err := os.ReadFile(goldenPath("bench_schema.json"))
+	if err != nil {
+		t.Skipf("golden file missing (run -update first): %v", err)
+	}
+	back, err := benchreg.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("golden bench schema does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(back, snap) {
+		t.Fatal("decoded golden snapshot differs from the canonical value")
+	}
+	var again bytes.Buffer
+	if err := back.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), raw) {
+		t.Fatal("bench schema round trip is not byte-identical")
+	}
 }
 
 // TestGoldenResumeStitch proves the golden stream is reachable through the

@@ -1,0 +1,195 @@
+// Package benchreg is the benchmark-regression subsystem: it parses `go
+// test -bench` output into machine-readable snapshots (BENCH_<n>.json),
+// numbers them, and compares a fresh run against a recorded baseline with
+// a relative ns/op threshold. cmd/vccmin-bench is the CLI face; CI runs
+// it at smoke scale and fails the build when a hot path regresses past
+// the threshold against the checked-in baseline.
+//
+// Snapshots are plain JSON with a schema version, stable field order and
+// a trailing newline, so they diff cleanly in review and round-trip
+// byte-identically (the golden bench_schema.json fixture pins the
+// format).
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// SchemaVersion tags the snapshot format; Decode rejects files written by
+// an incompatible future format.
+const SchemaVersion = 1
+
+// Benchmark is one benchmark's measurements. Name has the -<procs>
+// GOMAXPROCS suffix stripped (it varies by machine and must not break
+// baseline matching); sub-benchmark paths are kept verbatim.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+}
+
+// Snapshot is one recorded benchmark run.
+type Snapshot struct {
+	SchemaVersion int         `json:"schema_version"`
+	CreatedAt     string      `json:"created_at"` // RFC3339 UTC
+	GoVersion     string      `json:"go_version"`
+	GOOS          string      `json:"goos"`
+	GOARCH        string      `json:"goarch"`
+	Command       string      `json:"command,omitempty"` // the go test invocation
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+// Encode writes the snapshot as indented JSON with a trailing newline —
+// the exact on-disk BENCH_<n>.json form.
+func (s *Snapshot) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// Decode reads a snapshot written by Encode, validating the schema
+// version and sanity-checking the entries.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("benchreg: decode: %w", err)
+	}
+	if s.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchreg: unsupported schema version %d (want %d)", s.SchemaVersion, SchemaVersion)
+	}
+	for i, b := range s.Benchmarks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("benchreg: benchmark %d has no name", i)
+		}
+		if b.NsPerOp < 0 || b.Iterations < 0 {
+			return nil, fmt.Errorf("benchreg: benchmark %q has negative measurements", b.Name)
+		}
+	}
+	return &s, nil
+}
+
+// ReadFile loads a snapshot from disk.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// WriteFile writes the snapshot to disk in Encode form.
+func (s *Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchFileRe matches the numbered snapshot files.
+var benchFileRe = regexp.MustCompile(`^BENCH_([0-9]+)\.json$`)
+
+// LatestFile returns the highest-numbered BENCH_<n>.json in dir, or
+// ("", 0, nil) when the directory holds none.
+func LatestFile(dir string) (path string, n int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if v, err := strconv.Atoi(m[1]); err == nil && v > n {
+			n, path = v, filepath.Join(dir, e.Name())
+		}
+	}
+	return path, n, nil
+}
+
+// NextFile returns the path of the next snapshot in dir's numbering
+// (BENCH_<latest+1>.json; BENCH_1.json for an empty directory).
+func NextFile(dir string) (string, error) {
+	_, n, err := LatestFile(dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n+1)), nil
+}
+
+// byName returns the snapshot's benchmarks keyed by name, merging
+// repeated entries (e.g. from -count > 1): every per-op value — ns/op,
+// B/op, allocs/op and each custom metric — is the mean over ALL of the
+// name's repetitions (a metric a repetition did not report contributes
+// zero, exactly like the dedicated per-op fields), while Iterations is
+// the total across them. Summing first and dividing once at the end
+// keeps the result independent of repetition order.
+func (s *Snapshot) byName() map[string]Benchmark {
+	sums := make(map[string]*Benchmark, len(s.Benchmarks))
+	counts := make(map[string]int, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		acc := sums[b.Name]
+		if acc == nil {
+			acc = &Benchmark{Name: b.Name, Procs: b.Procs}
+			sums[b.Name] = acc
+		}
+		acc.Iterations += b.Iterations
+		acc.NsPerOp += b.NsPerOp
+		acc.BytesPerOp += b.BytesPerOp
+		acc.AllocsPerOp += b.AllocsPerOp
+		for k, v := range b.Metrics {
+			if acc.Metrics == nil {
+				acc.Metrics = map[string]float64{}
+			}
+			acc.Metrics[k] += v
+		}
+		counts[b.Name]++
+	}
+	out := make(map[string]Benchmark, len(sums))
+	for name, acc := range sums {
+		n := float64(counts[name])
+		acc.NsPerOp /= n
+		acc.BytesPerOp /= n
+		acc.AllocsPerOp /= n
+		for k := range acc.Metrics {
+			acc.Metrics[k] /= n
+		}
+		out[name] = *acc
+	}
+	return out
+}
+
+// sortedNames returns m's keys in lexical order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,239 @@
+package benchreg
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleOutput is real-shaped `go test -bench -benchmem` output across
+// two packages: plain benches, sub-benches with parameter labels, custom
+// b.ReportMetric units, and the usual non-result chatter.
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: vccmin
+cpu: Shared vCPU
+BenchmarkFig1VoltageScaling-8   	    9086	    131846 ns/op
+BenchmarkFig8LowVoltage-8       	       7	 163000000 ns/op	         0.8060 wordDis-norm	         0.9780 blockDis-norm
+BenchmarkFaultMapGeneration-8   	  100000	     10500 ns/op	   46208 B/op	       3 allocs/op
+PASS
+ok  	vccmin	12.3s
+goos: linux
+goarch: amd64
+pkg: vccmin/internal/faults
+BenchmarkGenerateMapSparse/L1-32K/pfail=0.001-8 	   58308	     10500 ns/op
+BenchmarkGenerateMapSparseReuse/L1-32K/pfail=0.001-8 	   93074	      6613 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	vccmin/internal/faults	5.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(got))
+	}
+	first := got[0]
+	if first.Name != "BenchmarkFig1VoltageScaling" || first.Procs != 8 ||
+		first.Iterations != 9086 || first.NsPerOp != 131846 {
+		t.Fatalf("bad first benchmark: %+v", first)
+	}
+	fig8 := got[1]
+	if fig8.Metrics["wordDis-norm"] != 0.8060 || fig8.Metrics["blockDis-norm"] != 0.9780 {
+		t.Fatalf("custom metrics not captured: %+v", fig8.Metrics)
+	}
+	mem := got[2]
+	if mem.BytesPerOp != 46208 || mem.AllocsPerOp != 3 {
+		t.Fatalf("benchmem columns not captured: %+v", mem)
+	}
+	sub := got[3]
+	if sub.Name != "BenchmarkGenerateMapSparse/L1-32K/pfail=0.001" || sub.Procs != 8 {
+		t.Fatalf("sub-benchmark name mangled: %q (procs %d)", sub.Name, sub.Procs)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 0},
+		{"BenchmarkFoo/pfail=0.001", "BenchmarkFoo/pfail=0.001", 0},
+		{"BenchmarkFoo/pfail=1e-3-16", "BenchmarkFoo/pfail=1e-3", 16},
+		{"BenchmarkL2-2M/x-4", "BenchmarkL2-2M/x", 4},
+		// A label ending in -digits is indistinguishable from the procs
+		// suffix; the strip is applied identically to baseline and
+		// current snapshots, so gate matching still pairs them up.
+		{"BenchmarkFoo/pfail=1e-3", "BenchmarkFoo/pfail=1e", 3},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     "2026-01-02T03:04:05Z",
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		Command:       "go test -run ^$ -bench . -benchtime 100ms -benchmem .",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", Procs: 8, Iterations: 1000, NsPerOp: 50, BytesPerOp: 16, AllocsPerOp: 1},
+			{Name: "BenchmarkB", Procs: 8, Iterations: 10, NsPerOp: 9000,
+				Metrics: map[string]float64{"IPC": 1.25}},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed the snapshot:\n got %+v\nwant %+v", back, s)
+	}
+	var again bytes.Buffer
+	if err := back.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoding is not byte-stable")
+	}
+}
+
+func TestDecodeRejectsBadSchema(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"schema_version":99,"benchmarks":[]}`)); err == nil {
+		t.Error("accepted unknown schema version")
+	}
+	if _, err := Decode(strings.NewReader(`{"schema_version":1,"benchmarks":[{"name":""}]}`)); err == nil {
+		t.Error("accepted unnamed benchmark")
+	}
+}
+
+func TestFileNumbering(t *testing.T) {
+	dir := t.TempDir()
+	path, n, err := LatestFile(dir)
+	if err != nil || path != "" || n != 0 {
+		t.Fatalf("empty dir: got (%q, %d, %v)", path, n, err)
+	}
+	next, err := NextFile(dir)
+	if err != nil || filepath.Base(next) != "BENCH_1.json" {
+		t.Fatalf("first snapshot should be BENCH_1.json, got %q (%v)", next, err)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_3.json", "BENCH_02.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, n, err = LatestFile(dir)
+	if err != nil || n != 3 || filepath.Base(path) != "BENCH_3.json" {
+		t.Fatalf("latest = (%q, %d, %v), want BENCH_3.json", path, n, err)
+	}
+	next, err = NextFile(dir)
+	if err != nil || filepath.Base(next) != "BENCH_4.json" {
+		t.Fatalf("next = %q (%v), want BENCH_4.json", next, err)
+	}
+}
+
+func snapshotOf(benches ...Benchmark) *Snapshot {
+	return &Snapshot{SchemaVersion: SchemaVersion, Benchmarks: benches}
+}
+
+func TestCompareGatesOnThreshold(t *testing.T) {
+	base := snapshotOf(
+		Benchmark{Name: "BenchmarkFast", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkSlow", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkGone", NsPerOp: 5},
+	)
+	cur := snapshotOf(
+		Benchmark{Name: "BenchmarkFast", NsPerOp: 124},  // +24%: inside a 25% gate
+		Benchmark{Name: "BenchmarkSlow", NsPerOp: 1300}, // +30%: regression
+		Benchmark{Name: "BenchmarkNew", NsPerOp: 7},
+	)
+	rep := Compare(base, cur, 0.25)
+	if !rep.Failed() || rep.Regressions != 1 {
+		t.Fatalf("want exactly 1 regression, got %d (failed=%v)", rep.Regressions, rep.Failed())
+	}
+	byName := map[string]Delta{}
+	for _, d := range rep.Deltas {
+		byName[d.Name] = d
+	}
+	if byName["BenchmarkFast"].Regressed {
+		t.Error("+24% flagged despite 25% threshold")
+	}
+	if !byName["BenchmarkSlow"].Regressed {
+		t.Error("+30% not flagged at 25% threshold")
+	}
+	if !reflect.DeepEqual(rep.OnlyInBase, []string{"BenchmarkGone"}) {
+		t.Errorf("OnlyInBase = %v", rep.OnlyInBase)
+	}
+	if !reflect.DeepEqual(rep.OnlyInCurrent, []string{"BenchmarkNew"}) {
+		t.Errorf("OnlyInCurrent = %v", rep.OnlyInCurrent)
+	}
+	var out bytes.Buffer
+	rep.Format(&out)
+	if !strings.Contains(out.String(), "FAIL: 1 benchmark(s) regressed") {
+		t.Errorf("report missing failure line:\n%s", out.String())
+	}
+}
+
+func TestCompareAveragesRepeatedEntries(t *testing.T) {
+	// -count 3 style repetition: the middle spike averages away.
+	base := snapshotOf(Benchmark{Name: "BenchmarkX", NsPerOp: 100})
+	cur := snapshotOf(
+		Benchmark{Name: "BenchmarkX", NsPerOp: 90, Iterations: 10},
+		Benchmark{Name: "BenchmarkX", NsPerOp: 150, Iterations: 10},
+		Benchmark{Name: "BenchmarkX", NsPerOp: 90, Iterations: 10},
+	)
+	rep := Compare(base, cur, 0.25)
+	if len(rep.Deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(rep.Deltas))
+	}
+	if d := rep.Deltas[0]; d.Regressed || d.CurNs < 109 || d.CurNs > 111 {
+		t.Fatalf("averaged delta wrong: %+v", d)
+	}
+}
+
+func TestByNameAveragesMetricsWithoutMutation(t *testing.T) {
+	snap := snapshotOf(
+		Benchmark{Name: "BenchmarkM", NsPerOp: 100, Iterations: 10,
+			Metrics: map[string]float64{"IPC": 1.0}},
+		Benchmark{Name: "BenchmarkM", NsPerOp: 200, Iterations: 30,
+			Metrics: map[string]float64{"IPC": 2.0}},
+	)
+	merged := snap.byName()["BenchmarkM"]
+	if merged.Metrics["IPC"] != 1.5 {
+		t.Errorf("metric IPC = %v, want the 1.5 mean", merged.Metrics["IPC"])
+	}
+	if merged.NsPerOp != 150 || merged.Iterations != 40 {
+		t.Errorf("merged = %+v, want ns/op mean 150 and iteration total 40", merged)
+	}
+	if snap.Benchmarks[0].Metrics["IPC"] != 1.0 {
+		t.Error("merging mutated the snapshot's own metrics map")
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	base := snapshotOf(Benchmark{Name: "BenchmarkY", NsPerOp: 1000})
+	cur := snapshotOf(Benchmark{Name: "BenchmarkY", NsPerOp: 100})
+	if rep := Compare(base, cur, 0.25); rep.Failed() {
+		t.Error("a 10x improvement failed the gate")
+	}
+}

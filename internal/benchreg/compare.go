@@ -1,0 +1,87 @@
+package benchreg
+
+import (
+	"fmt"
+	"io"
+)
+
+// Delta is one benchmark's baseline-to-current comparison.
+type Delta struct {
+	Name      string  `json:"name"`
+	BaseNs    float64 `json:"base_ns_per_op"`
+	CurNs     float64 `json:"cur_ns_per_op"`
+	Ratio     float64 `json:"ratio"` // cur / base; > 1 is slower
+	Regressed bool    `json:"regressed"`
+}
+
+// Report is the outcome of comparing a current snapshot against a
+// baseline at a relative ns/op threshold.
+type Report struct {
+	Threshold     float64  `json:"threshold"` // e.g. 0.25 = fail beyond +25% ns/op
+	Deltas        []Delta  `json:"deltas"`    // benchmarks present in both, by name
+	Regressions   int      `json:"regressions"`
+	OnlyInBase    []string `json:"only_in_base,omitempty"`    // not gated, reported
+	OnlyInCurrent []string `json:"only_in_current,omitempty"` // new benches, not gated
+}
+
+// Failed reports whether the gate should reject the current run.
+func (r Report) Failed() bool { return r.Regressions > 0 }
+
+// Compare matches base and current benchmarks by name (procs-stripped;
+// repeated entries averaged) and flags every benchmark whose current
+// ns/op exceeds base*(1+threshold). Benchmarks present on only one side
+// are listed but never gate — a filtered smoke run against a full
+// baseline gates exactly on the intersection.
+func Compare(base, current *Snapshot, threshold float64) Report {
+	rep := Report{Threshold: threshold}
+	b, c := base.byName(), current.byName()
+	for _, name := range sortedNames(b) {
+		bb := b[name]
+		cb, ok := c[name]
+		if !ok {
+			rep.OnlyInBase = append(rep.OnlyInBase, name)
+			continue
+		}
+		d := Delta{Name: name, BaseNs: bb.NsPerOp, CurNs: cb.NsPerOp}
+		if bb.NsPerOp > 0 {
+			d.Ratio = cb.NsPerOp / bb.NsPerOp
+			d.Regressed = d.Ratio > 1+threshold
+		}
+		if d.Regressed {
+			rep.Regressions++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, name := range sortedNames(c) {
+		if _, ok := b[name]; !ok {
+			rep.OnlyInCurrent = append(rep.OnlyInCurrent, name)
+		}
+	}
+	return rep
+}
+
+// Format renders the report as an aligned human-readable table.
+func (r Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "benchmark comparison (gate: ns/op > baseline +%.0f%%)\n", r.Threshold*100)
+	for _, d := range r.Deltas {
+		mark := "  "
+		if d.Regressed {
+			mark = "✗ "
+		} else if d.Ratio > 0 && d.Ratio < 1 {
+			mark = "✓ "
+		}
+		fmt.Fprintf(w, "%s%-64s %14.1f -> %12.1f ns/op  (%+.1f%%)\n",
+			mark, d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100)
+	}
+	for _, n := range r.OnlyInBase {
+		fmt.Fprintf(w, "  %-64s only in baseline (not gated)\n", n)
+	}
+	for _, n := range r.OnlyInCurrent {
+		fmt.Fprintf(w, "  %-64s new (no baseline)\n", n)
+	}
+	if r.Regressions > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed beyond +%.0f%%\n", r.Regressions, r.Threshold*100)
+	} else {
+		fmt.Fprintf(w, "ok: no benchmark regressed beyond +%.0f%%\n", r.Threshold*100)
+	}
+}

@@ -1,0 +1,92 @@
+package benchreg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseBenchOutput extracts benchmark result lines from `go test -bench`
+// text output. Result lines have the form
+//
+//	BenchmarkName[-procs]  iterations  value unit  [value unit ...]
+//
+// Units ns/op, B/op and allocs/op fill the dedicated fields; any other
+// unit (a b.ReportMetric custom metric, e.g. "IPC" or "wordDis-norm")
+// lands in Metrics. Package headers, PASS/ok trailers and any other
+// chatter are ignored, so the raw output of a multi-package run parses
+// directly.
+func ParseBenchOutput(r io.Reader) ([]Benchmark, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Benchmark
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line needs at least name, iterations and one
+		// value/unit pair; "BenchmarkFoo" alone is the verbose pre-run
+		// announcement, not a result.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... output:" chatter
+		}
+		b := Benchmark{Iterations: iters}
+		b.Name, b.Procs = splitProcs(fields[0])
+		if (len(fields)-2)%2 != 0 {
+			return nil, fmt.Errorf("benchreg: line %d: odd value/unit pairing in %q", ln, line)
+		}
+		for i := 2; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchreg: line %d: bad value %q", ln, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// splitProcs separates the -<GOMAXPROCS> suffix Go appends to benchmark
+// names by stripping a purely numeric final dash segment of the last
+// slash element. A sub-benchmark label that itself ends in -<digits>
+// (e.g. "pfail=1e-3") is indistinguishable from the procs suffix and
+// loses its tail too — the same ambiguity benchstat accepts. The strip
+// is applied identically to baseline and current snapshots, so gate
+// matching still pairs such names up, but two labels differing only in
+// a trailing -<digits> run would collide and average; prefer labels
+// like "pfail=0.001" (as this repo's benches do).
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i < strings.LastIndexByte(name, '/') {
+		return name, 0
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
+	}
+	return name[:i], procs
+}

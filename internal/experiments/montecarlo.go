@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
-	"vccmin/internal/core"
 	"vccmin/internal/faults"
 	"vccmin/internal/geom"
 	"vccmin/internal/prob"
@@ -14,14 +16,55 @@ import (
 // Seeds derive per trial from seed, so the estimate is reproducible. This
 // is the empirical counterpart the property tests (and the service's
 // measured-capacity query) hold against prob.ExpectedCapacity.
+//
+// Trials draw on the sparse fast path (one reused map buffer per worker)
+// and run on all CPUs; use MeasuredBlockDisableCapacityWorkers to bound
+// the worker pool. The result is a pure function of (g, pfail, trials,
+// seed) — worker count and scheduling never change it.
 func MeasuredBlockDisableCapacity(g geom.Geometry, pfail float64, trials int, seed int64) float64 {
+	return MeasuredBlockDisableCapacityWorkers(g, pfail, trials, seed, 0)
+}
+
+// MeasuredBlockDisableCapacityWorkers is MeasuredBlockDisableCapacity
+// with the worker pool bounded to workers goroutines (0 = GOMAXPROCS).
+// Per-trial capacities land in trial-indexed slots and are reduced
+// serially, so the estimate is bit-identical for every worker count.
+func MeasuredBlockDisableCapacityWorkers(g geom.Geometry, pfail float64, trials int, seed int64, workers int) float64 {
 	if trials <= 0 {
 		trials = 1
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	caps := make([]float64, trials)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sampler faults.Sampler
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= trials {
+					return
+				}
+				m := sampler.Draw(g, 32, pfail, faults.DeriveSeed(seed, "capacity-trial", strconv.Itoa(t)))
+				// Identical to core.BuildBlockDisable(m).CapacityFraction()
+				// — enabled blocks over total blocks, the same division —
+				// without materializing the per-trial way-mask structure.
+				blocks := len(m.Blocks)
+				caps[t] = float64(blocks-m.FaultyBlocks()) / float64(blocks)
+			}
+		}()
+	}
+	wg.Wait()
 	sum := 0.0
-	for t := 0; t < trials; t++ {
-		m := faults.GenerateMap(g, 32, pfail, faults.DeriveSeed(seed, "capacity-trial", strconv.Itoa(t)))
-		sum += core.BuildBlockDisable(m).CapacityFraction()
+	for _, c := range caps {
+		sum += c
 	}
 	return sum / float64(trials)
 }

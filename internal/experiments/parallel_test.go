@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"vccmin/internal/geom"
+)
+
+// The Monte Carlo executors must be pure functions of their parameters:
+// worker count changes wall-clock time, never results. These tests run
+// under -race in CI.
+
+// TestMeasuredCapacityWorkerInvariance: the capacity estimate is
+// bit-identical at every worker-pool size, matches the analytic Eq. 2
+// closed form at scale, and tolerates workers > trials.
+func TestMeasuredCapacityWorkerInvariance(t *testing.T) {
+	g := geom.MustNew(8*1024, 4, 64)
+	const (
+		pfail  = 0.001
+		trials = 64
+		seed   = 77
+	)
+	want := MeasuredBlockDisableCapacityWorkers(g, pfail, trials, seed, 1)
+	for _, workers := range []int{0, 2, 7, 16, trials + 5} {
+		if got := MeasuredBlockDisableCapacityWorkers(g, pfail, trials, seed, workers); got != want {
+			t.Errorf("workers=%d: capacity %v differs from serial %v", workers, got, want)
+		}
+	}
+	if got := MeasuredBlockDisableCapacity(g, pfail, trials, seed); got != want {
+		t.Errorf("default-worker estimate %v differs from serial %v", got, want)
+	}
+	if analytic := AnalyticBlockDisableCapacity(g, pfail); math.Abs(want-analytic) > 0.05 {
+		t.Errorf("measured capacity %v far from analytic %v", want, analytic)
+	}
+}
+
+// TestPairsParallelismInvariance: the shared fault-pair sample is
+// identical at every parallelism level — each job writes only its own
+// slot, and pair seeds do not depend on scheduling.
+func TestPairsParallelismInvariance(t *testing.T) {
+	base := SimParams{FaultPairs: 12, Pfail: 0.002, BaseSeed: 5}
+	serial := base
+	serial.Parallelism = 1
+	want := serial.withDefaults().pairs()
+	for _, par := range []int{2, 8} {
+		p := base
+		p.Parallelism = par
+		if got := p.withDefaults().pairs(); !reflect.DeepEqual(got, want) {
+			t.Errorf("parallelism=%d: fault pairs differ from serial draw", par)
+		}
+	}
+}

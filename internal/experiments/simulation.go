@@ -54,15 +54,23 @@ func (p SimParams) withDefaults() SimParams {
 	return p
 }
 
-// pairs draws the experiment's fault-map pairs: pair i uses seed
-// BaseSeed+i, shared across benchmarks and configurations so comparisons
-// see identical fault patterns.
+// pairs draws the experiment's fault-map pairs on the sparse fast path,
+// one worker job per pair: pair i uses seed BaseSeed+i, shared across
+// benchmarks and configurations so comparisons see identical fault
+// patterns. Each job writes only its own slot, so the slice is identical
+// for every parallelism level.
 func (p SimParams) pairs() []faults.Pair {
 	g := geom.MustNew(32*1024, 8, 64)
 	out := make([]faults.Pair, p.FaultPairs)
+	jobs := make([]func() error, len(out))
 	for i := range out {
-		out[i] = faults.GeneratePair(g, g, 32, p.Pfail, p.BaseSeed+int64(i))
+		i := i
+		jobs[i] = func() error {
+			out[i] = faults.GeneratePairSparse(g, g, 32, p.Pfail, p.BaseSeed+int64(i))
+			return nil
+		}
 	}
+	RunJobs(p.Parallelism, jobs)
 	return out
 }
 

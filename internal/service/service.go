@@ -31,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -286,7 +287,26 @@ type CapacityResponse struct {
 }
 
 func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
-	s.cached(w, "capacity?"+r.URL.RawQuery, func() (any, error) {
+	// workers only changes Monte Carlo scheduling, never the estimate, so
+	// it is dropped from the cache key: the same query at a different
+	// worker count replays the cached bytes instead of recomputing.
+	// (Values.Encode sorts keys, which also canonicalizes param order.)
+	// It is validated HERE, before the cache is consulted, so a malformed
+	// value is a 400 regardless of cache state, and clamped to the CPU
+	// count — beyond that extra workers only cost goroutines and sampler
+	// buffers (each owns a full fault map), which an unauthenticated
+	// request must not be able to multiply.
+	workers, err := queryInt(r, "workers", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	q := r.URL.Query()
+	q.Del("workers")
+	s.cached(w, "capacity?"+q.Encode(), func() (any, error) {
 		pfail, err := queryFloat(r, "pfail", 0.001)
 		if err != nil {
 			return nil, err
@@ -328,7 +348,9 @@ func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
 			if trials > 10_000 {
 				return nil, fmt.Errorf("trials %d too large (max 10000)", trials)
 			}
-			mc := experiments.MeasuredBlockDisableCapacity(g, pfail, trials, int64(seed))
+			// workers bounds the Monte Carlo pool (0 = all CPUs); the
+			// estimate itself is identical for every worker count.
+			mc := experiments.MeasuredBlockDisableCapacityWorkers(g, pfail, trials, int64(seed), workers)
 			resp.MeasuredCapacity = &mc
 			resp.Trials = trials
 		}
@@ -485,10 +507,11 @@ func (req SimRequest) options() (sim.Options, error) {
 		return opts, fmt.Errorf("pfail %v out of [0,1)", req.Pfail)
 	}
 	// Fault-dependent schemes at low voltage need a fault-map pair; draw
-	// it deterministically from the request's pfail and seed.
+	// it deterministically from the request's pfail and seed on the
+	// sparse fast path.
 	if opts.Mode == sim.LowVoltage && (opts.Scheme == sim.BlockDisable ||
 		opts.Scheme == sim.IncrementalWordDisable || opts.Scheme == sim.BitFix) {
-		pair := faults.GeneratePair(g, g, 32, req.Pfail, faults.DeriveSeed(req.Seed, "serve-sim-pair"))
+		pair := faults.GeneratePairSparse(g, g, 32, req.Pfail, faults.DeriveSeed(req.Seed, "serve-sim-pair"))
 		opts.Pair = &pair
 	}
 	return opts, nil

@@ -10,13 +10,21 @@ import (
 	"vccmin/internal/stats"
 )
 
+// StreamVersion identifies the random-stream family the engine draws
+// from. It is stamped into every row and enforced by LoadCompleted, so a
+// resume can never silently stitch rows produced by incompatible RNG
+// streams into one checkpoint (the PR-3 sparse fast path changed the
+// stream; pre-break checkpoints must be rerun, not resumed).
+const StreamVersion = "sparse-v1"
+
 // Row is one cell's result, streamed as a JSON line. Field order is fixed:
 // rows are compared byte-for-byte across shard layouts, so every value in
 // a Row must depend only on the cell coordinates and the base seed — never
 // on shard layout, worker scheduling or wall-clock state.
 type Row struct {
-	Key   string `json:"key"`
-	Index int    `json:"index"`
+	Key    string `json:"key"`
+	Index  int    `json:"index"`
+	Stream string `json:"stream"` // StreamVersion of the run that wrote the row
 
 	Pfail       float64 `json:"pfail"`
 	GeomSize    int     `json:"geom_size"`
@@ -60,8 +68,9 @@ func (s Spec) evaluate(c Cell) (Row, error) {
 	key := c.Key()
 	seed := faults.DeriveSeed(s.BaseSeed, key)
 	row := Row{
-		Key:   key,
-		Index: c.Index,
+		Key:    key,
+		Index:  c.Index,
+		Stream: StreamVersion,
 
 		Pfail:       c.Pfail,
 		GeomSize:    c.Geometry.SizeBytes,
@@ -112,12 +121,13 @@ func (s Spec) evaluate(c Cell) (Row, error) {
 	}
 
 	// Trial fault maps are shared across benchmarks (the paper's design:
-	// every configuration sees identical fault patterns).
+	// every configuration sees identical fault patterns), drawn on the
+	// sparse fast path.
 	pairs := make([]faults.Pair, pairTrials)
 	wdCfg := core.ReferenceWordDisable()
 	for t := range pairs {
 		pairSeed := faults.DeriveSeed(seed, "pair", itoa(t))
-		pairs[t] = faults.GeneratePair(c.Geometry, c.Geometry, 32, c.Pfail, pairSeed)
+		pairs[t] = faults.GeneratePairSparse(c.Geometry, c.Geometry, 32, c.Pfail, pairSeed)
 		if c.Scheme == sim.WordDisable {
 			if !core.EvaluateWordDisable(pairs[t].I, wdCfg).Fit ||
 				!core.EvaluateWordDisable(pairs[t].D, wdCfg).Fit {

@@ -15,7 +15,7 @@ import (
 
 // fuzzRowLine renders a well-formed checkpoint line for seeding.
 func fuzzRowLine(key string, index int) string {
-	b, _ := json.Marshal(Row{Key: key, Index: index, Pfail: 0.001, Scheme: "block-disable"})
+	b, _ := json.Marshal(Row{Key: key, Index: index, Stream: StreamVersion, Pfail: 0.001, Scheme: "block-disable"})
 	return string(b) + "\n"
 }
 

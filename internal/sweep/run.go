@@ -33,6 +33,13 @@ type RunOptions struct {
 	// called synchronously under the flush lock — it must be fast and must
 	// not call back into the run.
 	OnProgress func(Progress)
+
+	// Workers bounds concurrent cell evaluations for this execution,
+	// overriding Spec.Workers when positive. Zero falls back to the
+	// spec's knob (itself defaulting to GOMAXPROCS). Worker count only
+	// changes scheduling: rows stream in cell order and their bytes are
+	// identical at every setting.
+	Workers int
 }
 
 // Progress is a point-in-time view of a run, reported to
@@ -62,13 +69,17 @@ type Result struct {
 }
 
 // Run evaluates the spec's grid cells owned by its shard, skipping cells
-// already in opt.Completed, with Spec.Workers concurrent evaluations.
-// Rows stream to opt.Out in cell order. The first cell error aborts the
-// run (already-flushed rows remain valid for resume).
+// already in opt.Completed, with opt.Workers (or Spec.Workers) concurrent
+// evaluations. Rows stream to opt.Out in cell order. The first cell error
+// aborts the run (already-flushed rows remain valid for resume).
 func Run(spec Spec, opt RunOptions) (*Result, error) {
 	spec = spec.withDefaults()
 	if err := spec.Check(); err != nil {
 		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = spec.Workers
 	}
 	ctx := opt.Context
 	if ctx == nil {
@@ -96,7 +107,7 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 		firstErr error
 		errOnce  sync.Once
 		wg       sync.WaitGroup
-		sem      = make(chan struct{}, spec.Workers)
+		sem      = make(chan struct{}, workers)
 
 		mu      sync.Mutex
 		next    int // first not-yet-flushed slot
@@ -221,6 +232,13 @@ func LoadCompleted(r io.Reader) (done map[string]struct{}, valid int64, err erro
 			var row Row
 			if err := json.Unmarshal(trimmed, &row); err != nil {
 				return nil, 0, fmt.Errorf("sweep: line %d: %w", ln, err)
+			}
+			// Refuse to resume a checkpoint written by an incompatible
+			// random-stream family: completing it would silently mix rows
+			// from two distributions in one output file. Rerun instead.
+			if row.Stream != StreamVersion {
+				return nil, 0, fmt.Errorf("sweep: line %d: checkpoint stream %q incompatible with engine stream %q — delete the checkpoint and rerun",
+					ln, row.Stream, StreamVersion)
 			}
 			done[row.Key] = struct{}{}
 		}

@@ -47,6 +47,9 @@ type Spec struct {
 	BaseSeed int64
 
 	// Workers bounds concurrent cell evaluations; 0 = GOMAXPROCS.
+	// RunOptions.Workers overrides it per execution. Either knob only
+	// changes scheduling, never results (and is excluded from
+	// CanonicalHash).
 	Workers int
 
 	// ShardIndex/ShardCount select the cells this run owns: cell i belongs
@@ -164,16 +167,19 @@ func (s Spec) Cells() []Cell {
 func (s Spec) owns(c Cell) bool { return c.Index%s.ShardCount == s.ShardIndex }
 
 // CanonicalHash digests the defaulted spec's result-defining parameters:
-// every cell key of the grid, the Monte Carlo sample sizes, the benchmark
-// list, the base seed and the shard selection. Workers is excluded — it
-// changes scheduling, never results. Two specs with equal hashes produce
-// byte-identical row streams, which makes the hash a safe cache and
-// deduplication key for sweep executions.
+// the engine's random-stream version, every cell key of the grid, the
+// Monte Carlo sample sizes, the benchmark list, the base seed and the
+// shard selection. Workers is excluded — it changes scheduling, never
+// results. Two specs with equal hashes produce byte-identical row
+// streams, which makes the hash a safe cache and deduplication key for
+// sweep executions; digesting StreamVersion keeps that invariant across
+// RNG-stream breaks (a completed pre-break job gets a different id, so
+// the serve layer can never dedup a new request onto its stale rows).
 func (s Spec) CanonicalHash() string {
 	s = s.withDefaults()
 	h := sha256.New()
-	fmt.Fprintf(h, "sweep-v1|seed=%d|trials=%d|instructions=%d|shard=%d/%d\n",
-		s.BaseSeed, s.Trials, s.Instructions, s.ShardIndex, s.ShardCount)
+	fmt.Fprintf(h, "sweep-v1|stream=%s|seed=%d|trials=%d|instructions=%d|shard=%d/%d\n",
+		StreamVersion, s.BaseSeed, s.Trials, s.Instructions, s.ShardIndex, s.ShardCount)
 	// Benchmarks are length-prefixed individually: a plain join would make
 	// ["a,b"] and ["a","b"] collide, and the hash is a dedup key.
 	for _, b := range s.Benchmarks {

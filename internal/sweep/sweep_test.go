@@ -151,6 +151,26 @@ func TestLoadCompletedRejectsCorruptCompleteLine(t *testing.T) {
 	}
 }
 
+// TestLoadCompletedRejectsForeignStream: a checkpoint written by a
+// different (or pre-versioning) RNG stream must refuse to resume rather
+// than silently stitch two distributions into one output file.
+func TestLoadCompletedRejectsForeignStream(t *testing.T) {
+	rows := []string{
+		`{"key":"a","index":0}`,                     // pre-versioning row: no stream field
+		`{"key":"b","index":1,"stream":"dense-v0"}`, // explicit foreign stream
+	}
+	for _, row := range rows {
+		if _, _, err := LoadCompleted(strings.NewReader(row + "\n")); err == nil {
+			t.Errorf("resumed a checkpoint row from a foreign stream: %s", row)
+		}
+	}
+	ok := `{"key":"c","index":2,"stream":"` + StreamVersion + `"}`
+	done, _, err := LoadCompleted(strings.NewReader(ok + "\n"))
+	if err != nil || len(done) != 1 {
+		t.Fatalf("current-stream row rejected: %v (%d keys)", err, len(done))
+	}
+}
+
 func TestTrialsReportEffectiveSampleSize(t *testing.T) {
 	spec := testSpec()
 	spec.Schemes = []sim.Scheme{sim.Baseline, sim.WordDisable}

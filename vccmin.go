@@ -120,17 +120,26 @@ type FaultMap = faults.Map
 // experiment trial.
 type FaultPair = faults.Pair
 
-// NewFaultMap draws a uniform random fault map over g at pfail, seeded.
-// The map equals the I side of NewFaultPair at the same seed.
+// NewFaultMap draws a uniform random fault map over g at pfail, seeded,
+// on the sparse fast path (cost proportional to the fault count, not the
+// cell count). The map equals the I side of NewFaultPair at the same
+// seed.
 func NewFaultMap(g Geometry, pfail float64, seed int64) *FaultMap {
-	return faults.GenerateMap(g, 32, pfail, seed)
+	return faults.GenerateMapSparse(g, 32, pfail, seed)
 }
 
-// NewFaultPair draws an I/D fault-map pair from one seed (Section V).
+// NewFaultPair draws an I/D fault-map pair from one seed (Section V) on
+// the sparse fast path.
 func NewFaultPair(ig, dg Geometry, pfail float64, seed int64) *FaultPair {
-	p := faults.GeneratePair(ig, dg, 32, pfail, seed)
+	p := faults.GeneratePairSparse(ig, dg, 32, pfail, seed)
 	return &p
 }
+
+// FaultSampler draws fault maps on the sparse fast path while reusing one
+// map buffer across draws, so Monte Carlo loops pay no per-trial
+// allocation. The zero value is ready to use; each concurrent worker
+// needs its own sampler, and a drawn map is valid until the next Draw.
+type FaultSampler = faults.Sampler
 
 // NewClusteredFaultMap draws a fault map under the clustered (non-uniform)
 // fault model — the paper's future-work extension. clusterSize cells fail
@@ -266,12 +275,25 @@ type SweepResult = sweep.Result
 // SweepAxisSummary is the per-axis marginal aggregate of a sweep.
 type SweepAxisSummary = sweep.AxisSummary
 
+// SweepRunOptions configures one sweep execution: the output stream, the
+// resume set, cancellation, progress observation and the worker bound for
+// concurrent cell evaluations (which never changes results, only
+// scheduling).
+type SweepRunOptions = sweep.RunOptions
+
 // RunSweep evaluates the spec's grid (or this shard's slice of it),
 // streaming JSON-line rows to out (nil discards them). Every cell seeds
 // from the hash of its coordinates plus the base seed, so results are
 // identical under any shard layout.
 func RunSweep(spec SweepSpec, out io.Writer) (*SweepResult, error) {
 	return sweep.Run(spec, sweep.RunOptions{Out: out})
+}
+
+// RunSweepWith is RunSweep with full execution options — checkpoint
+// resume via Completed, cancellation via Context, progress callbacks and
+// a per-run Workers bound.
+func RunSweepWith(spec SweepSpec, opt SweepRunOptions) (*SweepResult, error) {
+	return sweep.Run(spec, opt)
 }
 
 // ResumeSweep is RunSweep skipping the cells already present in the
@@ -327,9 +349,18 @@ func Serve(ctx context.Context, cfg ServeConfig) error { return service.Serve(ct
 
 // MeasuredBlockDisableCapacity estimates Eq. 2 by Monte Carlo: the mean
 // fault-free-block fraction over trials maps drawn at pfail — the
-// empirical counterpart of ExpectedBlockDisableCapacity.
+// empirical counterpart of ExpectedBlockDisableCapacity. Trials draw on
+// the sparse fast path and run on all CPUs; the estimate is a pure
+// function of the arguments (worker scheduling never changes it).
 func MeasuredBlockDisableCapacity(g Geometry, pfail float64, trials int, seed int64) float64 {
 	return experiments.MeasuredBlockDisableCapacity(g, pfail, trials, seed)
+}
+
+// MeasuredBlockDisableCapacityWorkers is MeasuredBlockDisableCapacity
+// with the Monte Carlo worker pool bounded to workers goroutines (0 =
+// GOMAXPROCS); the estimate is identical at every setting.
+func MeasuredBlockDisableCapacityWorkers(g Geometry, pfail float64, trials int, seed int64, workers int) float64 {
+	return experiments.MeasuredBlockDisableCapacityWorkers(g, pfail, trials, seed, workers)
 }
 
 // ---- Extensions: bit-fix and disabling granularity ----
