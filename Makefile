@@ -5,7 +5,7 @@ COVER_FLOOR ?= 75
 # Per-target budget for the `make fuzz` smoke run.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-json bench-gate fmt vet fuzz cover serve sweep-demo ci
+.PHONY: build test race bench bench-json bench-gate fmt vet doc-check link-check check fuzz cover serve sweep-demo ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,31 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet ./examples/...
+
+# Every internal package must carry a proper package comment ("Package
+# <name> ..." — or "Command <name> ..." for main packages under
+# internal/tools). go vet does not enforce this, so a grep does.
+doc-check:
+	@fail=0; \
+	for d in internal/*/ internal/tools/*/; do \
+		ls $$d*.go >/dev/null 2>&1 || continue; \
+		name=$$(basename $$d); \
+		if ! grep -lqE "^// (Package|Command) $$name( |$$)" $$d*.go; then \
+			echo "doc-check: $$d has no '// Package $$name ...' comment"; fail=1; \
+		fi; \
+	done; \
+	if ! grep -qE "^// Package vccmin " vccmin.go; then \
+		echo "doc-check: vccmin.go has no package comment"; fail=1; \
+	fi; \
+	[ $$fail -eq 0 ] && echo "doc-check: all packages documented" || exit 1
+
+# Broken relative links (and #fragments) in any *.md fail the build.
+link-check:
+	$(GO) run ./internal/tools/linkcheck
+
+# The static quality gate CI runs before the test jobs.
+check: vet fmt doc-check link-check
 
 # Short fuzz smoke over the checkpoint readers (go test allows one fuzz
 # target per invocation, hence two runs).
@@ -70,4 +95,4 @@ sweep-demo:
 		-trials 2 -instructions 20000 -resume -out /tmp/sweep-demo.jsonl
 	$(GO) run ./cmd/vccmin-sweep -summarize /tmp/sweep-demo.jsonl
 
-ci: build vet fmt race bench sweep-demo cover
+ci: build check race bench sweep-demo cover

@@ -1,0 +1,148 @@
+// Command vccmin-dvfs is the phase-aware dual-mode scheduling explorer:
+// it runs multi-phase workloads across the high-voltage (3 GHz) and
+// low-voltage (600 MHz, below Vcc-min, fault-mitigated) domains under a
+// set of scheduling policies, and reports every (workload, scheme,
+// policy) operating point with its Pareto frontier over (performance,
+// energy per instruction).
+//
+// Every run is seeded and deterministic: the same flags produce
+// byte-identical JSON, which is what the golden fixtures pin.
+//
+// Usage:
+//
+//	vccmin-dvfs                                    # default grid, JSON to stdout
+//	vccmin-dvfs -policies oracle,reactive          # restrict the policy axis
+//	vccmin-dvfs -policy oracle                     # -policy is an alias
+//	vccmin-dvfs -workloads bursty-server -schemes block -out frontier.json
+//	vccmin-dvfs -list                              # show workloads and policies
+//	vccmin-dvfs -runs                              # include full per-run phase accounting
+//
+// Axis flags take comma-separated values. -scale rescales every
+// workload's phase budgets proportionally to roughly the given total
+// instruction count; -penalty prices a mode switch in cycles.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vccmin/internal/cliflag"
+	"vccmin/internal/dvfs"
+	"vccmin/internal/sim"
+	"vccmin/internal/workload"
+)
+
+func main() {
+	var (
+		workloads = flag.String("workloads", "", "multi-phase workloads, comma list (default: all builtins)")
+		schemes   = flag.String("schemes", "block,word", "low-voltage schemes, comma list (baseline,word,block,inc-word,bitfix)")
+		policies  = flag.String("policies", "", "scheduling policies, comma list (static-high,static-low,oracle,reactive,interval; default: all)")
+		victim    = flag.String("victim", "none", "victim cache (none,10t,6t)")
+		pfail     = flag.Float64("pfail", 0.001, "per-cell failure probability at the low-voltage point")
+		seed      = flag.Int64("seed", 1, "base seed for every run's random streams")
+		scale     = flag.Int("scale", 0, "rescale each workload to about this many instructions (0 = reference scale)")
+		penalty   = flag.Int("penalty", 0, "mode-switch penalty in cycles (0 = default 2000, -1 = free switches)")
+		interval  = flag.Int("interval", 0, "decision-chunk size in instructions (0 = default 2000)")
+		threshold = flag.Float64("ipc-threshold", 0, "reactive policy's high-mode IPC threshold (0 = default 0.1)")
+		workers   = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS); never changes results")
+		out       = flag.String("out", "", "output JSON file (empty = stdout)")
+		runs      = flag.Bool("runs", false, "include the full per-run phase accounting in the output")
+		list      = flag.Bool("list", false, "list builtin workloads and policies, then exit")
+	)
+	// -policy is an alias for -policies, matching the singular-axis habit
+	// of one-policy invocations (vccmin-dvfs -policy oracle).
+	flag.StringVar(policies, "policy", "", "alias for -policies")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("multi-phase workloads:")
+		for _, m := range workload.MultiPhaseProfiles() {
+			var parts []string
+			for _, ph := range m.Phases {
+				parts = append(parts, fmt.Sprintf("%s:%d", ph.Benchmark, ph.Instructions))
+			}
+			fmt.Printf("  %-22s %s\n", m.Name, strings.Join(parts, " "))
+		}
+		fmt.Println("policies:")
+		for _, p := range dvfs.Policies() {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+
+	spec := dvfs.ExploreSpec{
+		Pfail:   *pfail,
+		Seed:    *seed,
+		Scale:   *scale,
+		Workers: *workers,
+	}
+	if *workloads != "" {
+		spec.Workloads = cliflag.Split(*workloads)
+	}
+	var err error
+	if spec.Schemes, err = cliflag.ParseList(*schemes, sim.ParseScheme); err != nil {
+		fatal(err)
+	}
+	if *policies != "" {
+		if spec.Policies, err = cliflag.ParseList(*policies, dvfs.ParsePolicy); err != nil {
+			fatal(err)
+		}
+	}
+	if spec.Victim, err = sim.ParseVictim(*victim); err != nil {
+		fatal(err)
+	}
+	// Switch-economics knobs go through hashed spec fields, so the
+	// emitted "hash" really does identify the output bytes.
+	spec.SwitchPenalty = *penalty
+	spec.Interval = *interval
+	spec.IPCThreshold = *threshold
+
+	res, err := dvfs.Explore(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	payload := output{
+		Hash:     spec.CanonicalHash(),
+		Pfail:    *pfail,
+		Seed:     *seed,
+		Points:   res.Points,
+		Frontier: res.ParetoPoints(),
+	}
+	if *runs {
+		payload.Runs = res.Runs
+	}
+	b, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "dvfs: %d operating points, %d on the frontier\n",
+		len(res.Points), len(payload.Frontier))
+}
+
+// output is the CLI's JSON shape: the canonical hash first (so a reader
+// can key caches the way /v1/dvfs does), then points and frontier in
+// grid order.
+type output struct {
+	Hash     string        `json:"hash"`
+	Pfail    float64       `json:"pfail"`
+	Seed     int64         `json:"seed"`
+	Points   []dvfs.Point  `json:"points"`
+	Frontier []dvfs.Point  `json:"frontier"`
+	Runs     []dvfs.Result `json:"runs,omitempty"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vccmin-dvfs:", err)
+	os.Exit(1)
+}

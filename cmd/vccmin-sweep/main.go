@@ -28,6 +28,8 @@ import (
 	"strconv"
 	"strings"
 
+	"vccmin/internal/cliflag"
+	"vccmin/internal/dvfs"
 	"vccmin/internal/geom"
 	"vccmin/internal/prob"
 	"vccmin/internal/sim"
@@ -41,6 +43,8 @@ func main() {
 		schemes    = flag.String("schemes", "block", "schemes, comma list (baseline,word,block,inc-word,bitfix)")
 		victims    = flag.String("victims", "none", "victim caches, comma list (none,10t,6t)")
 		grans      = flag.String("gran", "block", "disabling granularities, comma list (block,set,way)")
+		policies   = flag.String("policies", "", "DVFS policy axis, comma list (static-high,static-low,oracle,reactive,interval); empty = classic cells only")
+		dvfsWls    = flag.String("dvfs-workloads", "", "multi-phase workloads per scheduled cell, comma list (default compute-memory-swing)")
 		benchmarks = flag.String("benchmarks", "", "benchmarks per cell, comma list (default crafty,mcf,gzip)")
 		trials     = flag.Int("trials", 3, "fault-map pairs per cell")
 		instrs     = flag.Int("instructions", 50_000, "simulated instructions per run")
@@ -77,14 +81,22 @@ func main() {
 	if spec.Geometries, err = parseGeoms(*geoms); err != nil {
 		fatal(err)
 	}
-	if spec.Schemes, err = parseList(*schemes, sim.ParseScheme); err != nil {
+	if spec.Schemes, err = cliflag.ParseList(*schemes, sim.ParseScheme); err != nil {
 		fatal(err)
 	}
-	if spec.Victims, err = parseList(*victims, sim.ParseVictim); err != nil {
+	if spec.Victims, err = cliflag.ParseList(*victims, sim.ParseVictim); err != nil {
 		fatal(err)
 	}
-	if spec.Granularities, err = parseList(*grans, prob.ParseGranularity); err != nil {
+	if spec.Granularities, err = cliflag.ParseList(*grans, prob.ParseGranularity); err != nil {
 		fatal(err)
+	}
+	if *policies != "" {
+		if spec.Policies, err = cliflag.ParseList(*policies, dvfs.ParsePolicy); err != nil {
+			fatal(err)
+		}
+	}
+	if *dvfsWls != "" {
+		spec.DVFSWorkloads = strings.Split(*dvfsWls, ",")
 	}
 	if *benchmarks != "" {
 		spec.Benchmarks = strings.Split(*benchmarks, ",")
@@ -145,7 +157,7 @@ func parsePfails(s string) ([]float64, error) {
 		out[n-1] = hi // exact endpoint despite float rounding
 		return out, nil
 	}
-	return parseList(s, func(v string) (float64, error) {
+	return cliflag.ParseList(s, func(v string) (float64, error) {
 		return strconv.ParseFloat(v, 64)
 	})
 }
@@ -166,23 +178,7 @@ func parseRange(s string) (lo, hi float64, n int, ok bool) {
 }
 
 func parseGeoms(s string) ([]geom.Geometry, error) {
-	return parseList(s, geom.Parse)
-}
-
-func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
-	var out []T
-	for _, v := range strings.Split(s, ",") {
-		v = strings.TrimSpace(v)
-		if v == "" {
-			continue
-		}
-		t, err := parse(v)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-	}
-	return out, nil
+	return cliflag.ParseList(s, geom.Parse)
 }
 
 func summarizeFile(path string) error {

@@ -208,6 +208,63 @@ func TestGoldenBenchSchema(t *testing.T) {
 	}
 }
 
+// goldenDVFSSpec is the corpus explorer grid: three multi-phase
+// workloads × two schemes × all five policies at a small instruction
+// scale. Do not change it — the fixture pins every operating point's
+// bytes, and the dominance assertions below are part of the contract.
+func goldenDVFSSpec() vccmin.DVFSExploreSpec {
+	return vccmin.DVFSExploreSpec{
+		Workloads: []string{"compute-memory-swing", "bursty-server", "cache-pressure-ramp"},
+		Schemes:   []vccmin.Scheme{vccmin.BlockDisable, vccmin.WordDisable},
+		Pfail:     0.001,
+		Seed:      7,
+		Scale:     6000,
+	}
+}
+
+// TestGoldenDVFSFrontier pins the Pareto explorer's JSON (the same
+// points/frontier shape cmd/vccmin-dvfs and /v1/dvfs emit) and enforces
+// the scheduling contract: for every workload × scheme, the oracle
+// policy is at least as fast as static-low and at most as hungry as
+// static-high.
+func TestGoldenDVFSFrontier(t *testing.T) {
+	res, err := vccmin.ExploreDVFS(goldenDVFSSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cell struct{ workload, scheme string }
+	perf := map[cell]map[string]float64{}
+	epi := map[cell]map[string]float64{}
+	for _, p := range res.Points {
+		c := cell{p.Workload, p.Scheme}
+		if perf[c] == nil {
+			perf[c], epi[c] = map[string]float64{}, map[string]float64{}
+		}
+		perf[c][p.Policy] = p.Performance
+		epi[c][p.Policy] = p.EnergyPerInstruction
+	}
+	if len(perf) != 6 {
+		t.Fatalf("explored %d workload×scheme cells, want 6", len(perf))
+	}
+	for c := range perf {
+		if perf[c]["oracle"] < perf[c]["static-low"] {
+			t.Errorf("%v: oracle performance %v below static-low %v", c, perf[c]["oracle"], perf[c]["static-low"])
+		}
+		if epi[c]["oracle"] > epi[c]["static-high"] {
+			t.Errorf("%v: oracle energy/instr %v above static-high %v", c, epi[c]["oracle"], epi[c]["static-high"])
+		}
+	}
+
+	got, err := json.MarshalIndent(struct {
+		Points   []vccmin.DVFSPoint `json:"points"`
+		Frontier []vccmin.DVFSPoint `json:"frontier"`
+	}{res.Points, vccmin.DVFSFrontier(res.Points)}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dvfs_frontier.json", append(got, '\n'))
+}
+
 // TestGoldenResumeStitch proves the golden stream is reachable through the
 // resume path too: truncate the corpus output mid-stream (torn final
 // line), resume, and require byte-identity with the golden file.

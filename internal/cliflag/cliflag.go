@@ -1,0 +1,32 @@
+// Package cliflag holds the comma-separated-list parsing shared by the
+// CLIs and the HTTP query layer, so axis syntax cannot drift between
+// surfaces: empty elements are skipped, surrounding whitespace is
+// trimmed, and element parsing stops at the first error.
+package cliflag
+
+import "strings"
+
+// Split breaks a comma-separated list into trimmed, non-empty elements.
+func Split(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ParseList parses each element of a comma-separated list with parse,
+// returning the first error.
+func ParseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	var out []T
+	for _, v := range Split(s) {
+		t, err := parse(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package dvfs
+
+import (
+	"testing"
+
+	"vccmin/internal/sim"
+	"vccmin/internal/workload"
+)
+
+// benchWorkload returns the swing workload at a fixed small scale so the
+// benchmark measures scheduling overhead, not simulation volume drift.
+func benchWorkload(b *testing.B) workload.MultiPhase {
+	b.Helper()
+	mp, err := workload.MultiPhaseByName("compute-memory-swing")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mp.Scaled(12_000)
+}
+
+// BenchmarkDVFSOracleSchedule times one full oracle run: per-phase probe
+// table, DP plan and the scheduled dual-mode execution.
+func BenchmarkDVFSOracleSchedule(b *testing.B) {
+	mp := benchWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{
+			Workload: mp,
+			Scheme:   sim.BlockDisable,
+			Pfail:    0.001,
+			Policy:   PolicyOracle,
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Performance, "perf-norm")
+			b.ReportMetric(res.EnergyPerInstruction, "epi-norm")
+		}
+	}
+}
+
+// BenchmarkDVFSReactiveSchedule times the online policy: no probe runs,
+// just chunked execution with per-chunk decisions.
+func BenchmarkDVFSReactiveSchedule(b *testing.B) {
+	mp := benchWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{
+			Workload: mp,
+			Scheme:   sim.BlockDisable,
+			Pfail:    0.001,
+			Policy:   PolicyReactive,
+			Seed:     1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package dvfs
+
+import (
+	"reflect"
+	"testing"
+
+	"vccmin/internal/sim"
+	"vccmin/internal/workload"
+)
+
+// testWorkload is a small two-swing compute/memory workload sized for
+// unit-test budgets.
+func testWorkload(t *testing.T) workload.MultiPhase {
+	t.Helper()
+	mp, err := workload.MultiPhaseByName("compute-memory-swing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp.Scaled(24_000)
+}
+
+func runPolicy(t *testing.T, p PolicyKind, scheme sim.Scheme) Result {
+	t.Helper()
+	res, err := Run(Config{
+		Workload: testWorkload(t),
+		Scheme:   scheme,
+		Pfail:    0.001,
+		Policy:   p,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatalf("policy %s: %v", p, err)
+	}
+	return res
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, p := range Policies() {
+		a := runPolicy(t, p, sim.BlockDisable)
+		b := runPolicy(t, p, sim.BlockDisable)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("policy %s: two identical runs differ", p)
+		}
+	}
+}
+
+func TestStaticPoliciesStayPut(t *testing.T) {
+	high := runPolicy(t, PolicyStaticHigh, sim.BlockDisable)
+	if high.Switches != 0 || high.LowInstructions != 0 {
+		t.Fatalf("static-high switched: %d switches, %d low instructions", high.Switches, high.LowInstructions)
+	}
+	low := runPolicy(t, PolicyStaticLow, sim.BlockDisable)
+	if low.Switches != 0 || low.HighInstructions != 0 {
+		t.Fatalf("static-low switched: %d switches, %d high instructions", low.Switches, low.HighInstructions)
+	}
+	if low.Energy >= high.Energy {
+		t.Fatalf("static-low energy %.3f not below static-high %.3f", low.Energy, high.Energy)
+	}
+	if low.Performance >= high.Performance {
+		t.Fatalf("static-low performance %.4f not below static-high %.4f", low.Performance, high.Performance)
+	}
+}
+
+func TestOracleDominatesStaticBounds(t *testing.T) {
+	for _, scheme := range []sim.Scheme{sim.BlockDisable, sim.WordDisable} {
+		oracle := runPolicy(t, PolicyOracle, scheme)
+		high := runPolicy(t, PolicyStaticHigh, scheme)
+		low := runPolicy(t, PolicyStaticLow, scheme)
+		if oracle.Performance < low.Performance {
+			t.Errorf("%s: oracle performance %.4f below static-low %.4f", scheme, oracle.Performance, low.Performance)
+		}
+		if oracle.EnergyPerInstruction > high.EnergyPerInstruction {
+			t.Errorf("%s: oracle energy/instr %.4f above static-high %.4f", scheme, oracle.EnergyPerInstruction, high.EnergyPerInstruction)
+		}
+	}
+}
+
+func TestIntervalAlternates(t *testing.T) {
+	res := runPolicy(t, PolicyInterval, sim.BlockDisable)
+	if res.Switches == 0 {
+		t.Fatal("interval policy never switched")
+	}
+	if res.HighInstructions == 0 || res.LowInstructions == 0 {
+		t.Fatalf("interval policy did not split instructions: high=%d low=%d", res.HighInstructions, res.LowInstructions)
+	}
+}
+
+func TestSwitchPenaltyCosts(t *testing.T) {
+	base := runPolicy(t, PolicyInterval, sim.BlockDisable)
+	taxed, err := Run(Config{
+		Workload:      testWorkload(t),
+		Scheme:        sim.BlockDisable,
+		Pfail:         0.001,
+		Policy:        PolicyInterval,
+		Seed:          11,
+		SwitchPenalty: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taxed.Time <= base.Time || taxed.Energy <= base.Energy {
+		t.Fatalf("raising the switch penalty did not cost time/energy: %v vs %v", taxed.Time, base.Time)
+	}
+}
+
+func TestAccountingInvariants(t *testing.T) {
+	res := runPolicy(t, PolicyOracle, sim.BlockDisable)
+	if got := res.HighInstructions + res.LowInstructions; got != res.TotalInstructions {
+		t.Fatalf("instruction split %d does not sum to total %d", got, res.TotalInstructions)
+	}
+	var phaseInstr int
+	var phaseTime, phaseEnergy float64
+	for _, ph := range res.Phases {
+		phaseInstr += ph.Instructions
+		phaseTime += ph.Time
+		phaseEnergy += ph.Energy
+	}
+	if phaseInstr != res.TotalInstructions {
+		t.Fatalf("phase instructions %d do not sum to total %d", phaseInstr, res.TotalInstructions)
+	}
+	if !closeTo(phaseTime, res.Time) || !closeTo(phaseEnergy, res.Energy) {
+		t.Fatalf("phase breakdown (%.4f, %.4f) disagrees with totals (%.4f, %.4f)",
+			phaseTime, phaseEnergy, res.Time, res.Energy)
+	}
+	if res.LowVoltage <= 0 || res.LowVoltage > 1 {
+		t.Fatalf("low voltage %v out of (0,1]", res.LowVoltage)
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}
+
+func TestConfigCheckErrors(t *testing.T) {
+	good := Config{Workload: workload.MultiPhase{Name: "w", Phases: []workload.Phase{{Benchmark: "eon", Instructions: 10}}}, Policy: PolicyStaticHigh}
+	if err := good.Check(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no policy", func(c *Config) { c.Policy = PolicyNone }},
+		{"bad pfail", func(c *Config) { c.Pfail = 1 }},
+		{"unknown benchmark", func(c *Config) { c.Workload.Phases[0].Benchmark = "nope" }},
+		{"no phases", func(c *Config) { c.Workload.Phases = nil }},
+	}
+	for _, tc := range cases {
+		c := good
+		c.Workload.Phases = append([]workload.Phase(nil), good.Workload.Phases...)
+		tc.mut(&c)
+		if err := c.Check(); err == nil {
+			t.Errorf("%s: Check accepted an invalid config", tc.name)
+		}
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range append([]PolicyKind{PolicyNone}, Policies()...) {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", p.String(), err)
+			continue
+		}
+		if got != p {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePolicy("warp-speed"); err == nil {
+		t.Error("ParsePolicy accepted an unknown name")
+	}
+}
+
+func TestPlanOracle(t *testing.T) {
+	// Phase 0 cheap in high, phase 1 cheap in low, by a wide margin.
+	energy := map[sim.Mode][]float64{
+		sim.HighVoltage: {1, 100},
+		sim.LowVoltage:  {100, 1},
+	}
+	time := map[sim.Mode][]float64{
+		sim.HighVoltage: {1, 1},
+		sim.LowVoltage:  {1, 1},
+	}
+	plan := planOracle(2, 1,
+		func(p int, m sim.Mode) float64 { return energy[m][p] },
+		func(p int, m sim.Mode) float64 { return time[m][p] },
+		func(sim.Mode) float64 { return 1 },
+		func(sim.Mode) float64 { return 0 })
+	want := oraclePlan{sim.HighVoltage, sim.LowVoltage}
+	if !reflect.DeepEqual(plan, want) {
+		t.Fatalf("plan = %v, want %v", plan, want)
+	}
+
+	// A switch penalty dwarfing the per-phase gap pins the schedule.
+	plan = planOracle(2, 1,
+		func(p int, m sim.Mode) float64 {
+			if m == sim.LowVoltage {
+				return 9 // low is slightly cheaper everywhere
+			}
+			return 10
+		},
+		func(int, sim.Mode) float64 { return 1 },
+		func(sim.Mode) float64 { return 1000 },
+		func(sim.Mode) float64 { return 0 })
+	if plan[0] != plan[1] {
+		t.Fatalf("huge switch penalty still produced a mode change: %v", plan)
+	}
+	if plan[0] != sim.LowVoltage {
+		t.Fatalf("uniform-cheaper low mode not chosen: %v", plan)
+	}
+}

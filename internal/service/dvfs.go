@@ -1,0 +1,130 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"vccmin/internal/cliflag"
+	"vccmin/internal/dvfs"
+	"vccmin/internal/sim"
+	"vccmin/internal/workload"
+)
+
+// maxDVFSCells bounds the (workload × scheme × policy) grid a single
+// /v1/dvfs request may ask for; each cell is a full scheduled run.
+const maxDVFSCells = 64
+
+// maxDVFSScale bounds the per-workload instruction budget a request may
+// demand.
+const maxDVFSScale = 500_000
+
+// DVFSResponse is the GET /v1/dvfs payload: every explored operating
+// point (frontier membership marked) plus the frontier subset, in grid
+// order.
+type DVFSResponse struct {
+	Hash      string       `json:"hash"` // ExploreSpec.CanonicalHash — the cache identity
+	Pfail     float64      `json:"pfail"`
+	Seed      int64        `json:"seed"`
+	Scale     int          `json:"scale,omitempty"`
+	Workloads []string     `json:"workloads"`
+	Points    []dvfs.Point `json:"points"`
+	Frontier  []dvfs.Point `json:"frontier"`
+}
+
+// parseDVFSSpec builds the explorer spec from query parameters. All axes
+// are comma-separated lists; empty values take the explorer defaults.
+func parseDVFSSpec(r *http.Request) (dvfs.ExploreSpec, error) {
+	var spec dvfs.ExploreSpec
+	q := r.URL.Query()
+	var err error
+	if v := q.Get("workloads"); v != "" {
+		spec.Workloads, err = cliflag.ParseList(v, func(w string) (string, error) {
+			_, err := workload.MultiPhaseByName(w)
+			return w, err
+		})
+		if err != nil {
+			return spec, err
+		}
+	}
+	if v := q.Get("schemes"); v != "" {
+		if spec.Schemes, err = cliflag.ParseList(v, sim.ParseScheme); err != nil {
+			return spec, err
+		}
+	}
+	if v := q.Get("policies"); v != "" {
+		spec.Policies, err = cliflag.ParseList(v, func(s string) (dvfs.PolicyKind, error) {
+			p, err := dvfs.ParsePolicy(s)
+			if err == nil && p == dvfs.PolicyNone {
+				return 0, fmt.Errorf("policy %q is not schedulable", s)
+			}
+			return p, err
+		})
+		if err != nil {
+			return spec, err
+		}
+	}
+	if v := q.Get("victim"); v != "" {
+		if spec.Victim, err = sim.ParseVictim(v); err != nil {
+			return spec, err
+		}
+	}
+	pfail, err := queryFloat(r, "pfail", 0.001)
+	if err != nil {
+		return spec, err
+	}
+	if pfail < 0 || pfail >= 1 {
+		return spec, fmt.Errorf("pfail %v out of [0,1)", pfail)
+	}
+	spec.Pfail = pfail
+	seed, err := queryInt(r, "seed", 1)
+	if err != nil {
+		return spec, err
+	}
+	spec.Seed = int64(seed)
+	scale, err := queryInt(r, "scale", 20_000)
+	if err != nil {
+		return spec, err
+	}
+	if scale < 0 || scale > maxDVFSScale {
+		return spec, fmt.Errorf("scale %d out of [0,%d]", scale, maxDVFSScale)
+	}
+	spec.Scale = scale
+	return spec, nil
+}
+
+// handleDVFS explores the requested (workload × scheme × policy) grid
+// and serves the Pareto view. Like the sweeps, the response is a pure
+// function of the request, keyed in the LRU by the explorer spec's
+// canonical hash — a repeated query replays identical bytes (X-Cache:
+// hit) instead of re-simulating.
+func (s *Server) handleDVFS(w http.ResponseWriter, r *http.Request) {
+	spec, err := parseDVFSSpec(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	// Gate the grid before any simulation runs: defaulting the spec
+	// first means the cell arithmetic can never drift from what Explore
+	// actually evaluates.
+	spec = spec.WithDefaults()
+	if cells := len(spec.Workloads) * len(spec.Schemes) * len(spec.Policies); cells > maxDVFSCells {
+		writeErr(w, http.StatusBadRequest, "grid has %d cells, limit %d", cells, maxDVFSCells)
+		return
+	}
+	hash := spec.CanonicalHash()
+	s.cached(w, "dvfs?"+hash, func() (any, error) {
+		res, err := dvfs.Explore(spec)
+		if err != nil {
+			return nil, err
+		}
+		return DVFSResponse{
+			Hash:      hash,
+			Pfail:     spec.Pfail,
+			Seed:      spec.Seed,
+			Scale:     spec.Scale,
+			Workloads: spec.Workloads,
+			Points:    res.Points,
+			Frontier:  res.ParetoPoints(),
+		}, nil
+	})
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func dvfsGet(t *testing.T, s *Server, url string) (*httptest.ResponseRecorder, DVFSResponse) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var resp DVFSResponse
+	if rec.Code == 200 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad /v1/dvfs body: %v", err)
+		}
+	}
+	return rec, resp
+}
+
+const dvfsQuery = "/v1/dvfs?workloads=compute-memory-swing&schemes=block&policies=static-high,static-low,oracle&scale=8000&seed=5"
+
+func TestDVFSEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec, resp := dvfsGet(t, s, dvfsQuery)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", rec.Header().Get("X-Cache"))
+	}
+	if len(resp.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(resp.Points))
+	}
+	if len(resp.Frontier) == 0 || resp.Hash == "" {
+		t.Fatalf("missing frontier or hash: %+v", resp)
+	}
+	byPolicy := map[string]float64{}
+	epi := map[string]float64{}
+	for _, p := range resp.Points {
+		byPolicy[p.Policy] = p.Performance
+		epi[p.Policy] = p.EnergyPerInstruction
+	}
+	if byPolicy["oracle"] < byPolicy["static-low"] {
+		t.Errorf("oracle performance %v below static-low %v", byPolicy["oracle"], byPolicy["static-low"])
+	}
+	if epi["oracle"] > epi["static-high"] {
+		t.Errorf("oracle energy %v above static-high %v", epi["oracle"], epi["static-high"])
+	}
+
+	// The repeated query must replay identical bytes from the cache.
+	again, _ := dvfsGet(t, s, dvfsQuery)
+	if again.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", again.Header().Get("X-Cache"))
+	}
+	if again.Body.String() != rec.Body.String() {
+		t.Fatal("cache hit served different bytes")
+	}
+}
+
+func TestDVFSEndpointValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	for name, url := range map[string]string{
+		"unknown workload": "/v1/dvfs?workloads=nope",
+		"unknown scheme":   "/v1/dvfs?schemes=nope",
+		"unknown policy":   "/v1/dvfs?policies=warp",
+		"none policy":      "/v1/dvfs?policies=none",
+		"bad pfail":        "/v1/dvfs?pfail=1.5",
+		"bad scale":        "/v1/dvfs?scale=99999999",
+		"bad seed":         "/v1/dvfs?seed=abc",
+	} {
+		rec, _ := dvfsGet(t, s, url)
+		if rec.Code != 400 {
+			t.Errorf("%s: status %d, want 400", name, rec.Code)
+		}
+	}
+}

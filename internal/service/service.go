@@ -12,6 +12,7 @@
 //	GET  /v1/capacity                Eq. 1-6 analytics (+ optional Monte Carlo check)
 //	GET  /v1/operating-point         Fig. 1 model at a pfail or performance floor
 //	GET  /v1/overhead                Table I transistor rows
+//	GET  /v1/dvfs                    phase-aware DVFS Pareto explorer (cached by canonical hash)
 //	POST /v1/sim                     one simulation run, synchronous
 //	POST /v1/sweeps                  enqueue a sweep job (202; idempotent by spec hash)
 //	GET  /v1/sweeps                  list jobs
@@ -35,6 +36,7 @@ import (
 	"strconv"
 	"time"
 
+	"vccmin/internal/dvfs"
 	"vccmin/internal/experiments"
 	"vccmin/internal/faults"
 	"vccmin/internal/geom"
@@ -111,6 +113,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/capacity", s.handleCapacity)
 	s.mux.HandleFunc("GET /v1/operating-point", s.handleOperatingPoint)
 	s.mux.HandleFunc("GET /v1/overhead", s.handleOverhead)
+	s.mux.HandleFunc("GET /v1/dvfs", s.handleDVFS)
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepPost)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
@@ -564,6 +567,8 @@ type SweepRequest struct {
 	Schemes       []string  `json:"schemes"`
 	Victims       []string  `json:"victims"`
 	Granularities []string  `json:"granularities"`
+	Policies      []string  `json:"policies"`
+	DVFSWorkloads []string  `json:"dvfs_workloads"`
 	Benchmarks    []string  `json:"benchmarks"`
 	Trials        int       `json:"trials"`
 	Instructions  int       `json:"instructions"`
@@ -574,12 +579,13 @@ type SweepRequest struct {
 // Spec converts the request into the engine's spec form.
 func (r SweepRequest) Spec() (sweep.Spec, error) {
 	spec := sweep.Spec{
-		Pfails:       r.Pfails,
-		Benchmarks:   r.Benchmarks,
-		Trials:       r.Trials,
-		Instructions: r.Instructions,
-		BaseSeed:     r.BaseSeed,
-		Workers:      r.Workers,
+		Pfails:        r.Pfails,
+		DVFSWorkloads: r.DVFSWorkloads,
+		Benchmarks:    r.Benchmarks,
+		Trials:        r.Trials,
+		Instructions:  r.Instructions,
+		BaseSeed:      r.BaseSeed,
+		Workers:       r.Workers,
 	}
 	var err error
 	for _, g := range r.Geometries {
@@ -609,6 +615,13 @@ func (r SweepRequest) Spec() (sweep.Spec, error) {
 			return spec, err
 		}
 		spec.Granularities = append(spec.Granularities, gr)
+	}
+	for _, v := range r.Policies {
+		p, err := dvfs.ParsePolicy(v)
+		if err != nil {
+			return spec, err
+		}
+		spec.Policies = append(spec.Policies, p)
 	}
 	return spec, err
 }

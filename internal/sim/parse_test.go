@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// The parsers accept both short CLI forms and the Stringer names; these
+// round-trips close the drift hole where a new enum value gets a
+// String() form ParseScheme/ParseVictim do not recognize (a sweep row
+// or service response would then name a configuration no request could
+// reproduce).
+
+func TestParseSchemeRoundTripsEveryString(t *testing.T) {
+	schemes := []Scheme{Baseline, WordDisable, BlockDisable, IncrementalWordDisable, BitFix}
+	for _, s := range schemes {
+		got, err := ParseScheme(s.String())
+		if err != nil {
+			t.Errorf("ParseScheme(%q): %v", s.String(), err)
+			continue
+		}
+		if got != s {
+			t.Errorf("ParseScheme(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+}
+
+func TestParseVictimRoundTripsEveryString(t *testing.T) {
+	victims := []VictimKind{NoVictim, Victim10T, Victim6T}
+	for _, v := range victims {
+		got, err := ParseVictim(v.String())
+		if err != nil {
+			t.Errorf("ParseVictim(%q): %v", v.String(), err)
+			continue
+		}
+		if got != v {
+			t.Errorf("ParseVictim(%q) = %v, want %v", v.String(), got, v)
+		}
+	}
+}
+
+func TestParseShortForms(t *testing.T) {
+	schemeCases := map[string]Scheme{
+		"base": Baseline, "baseline": Baseline,
+		"word": WordDisable, "wd": WordDisable,
+		"block": BlockDisable, "bd": BlockDisable,
+		"inc-word": IncrementalWordDisable, "iwd": IncrementalWordDisable,
+		"bitfix": BitFix,
+	}
+	for in, want := range schemeCases {
+		if got, err := ParseScheme(in); err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	victimCases := map[string]VictimKind{
+		"none": NoVictim, "no": NoVictim,
+		"10t": Victim10T, "10T": Victim10T,
+		"6t": Victim6T, "6T": Victim6T,
+	}
+	for in, want := range victimCases {
+		if got, err := ParseVictim(in); err != nil || got != want {
+			t.Errorf("ParseVictim(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestParseRejectsUnknown(t *testing.T) {
+	if _, err := ParseScheme("holographic"); err == nil {
+		t.Error("ParseScheme accepted an unknown scheme")
+	}
+	if _, err := ParseVictim("32t"); err == nil {
+		t.Error("ParseVictim accepted an unknown victim kind")
+	}
+	// The out-of-range Stringer forms ("Scheme(9)") must not parse either.
+	if _, err := ParseScheme(Scheme(9).String()); err == nil {
+		t.Error("ParseScheme accepted an out-of-range Scheme's String()")
+	}
+	if _, err := ParseVictim(VictimKind(9).String()); err == nil {
+		t.Error("ParseVictim accepted an out-of-range VictimKind's String()")
+	}
+}

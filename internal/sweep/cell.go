@@ -2,12 +2,14 @@ package sweep
 
 import (
 	"vccmin/internal/core"
+	"vccmin/internal/dvfs"
 	"vccmin/internal/experiments"
 	"vccmin/internal/faults"
 	"vccmin/internal/power"
 	"vccmin/internal/prob"
 	"vccmin/internal/sim"
 	"vccmin/internal/stats"
+	"vccmin/internal/workload"
 )
 
 // StreamVersion identifies the random-stream family the engine draws
@@ -53,6 +55,18 @@ type Row struct {
 
 	Trials     int `json:"trials"`
 	Benchmarks int `json:"benchmarks"`
+
+	// Phase-aware DVFS fields, present only on scheduled (policy != none)
+	// cells: means over the spec's DVFSWorkloads. Omitted on classic
+	// rows so they stay byte-identical to pre-axis sweeps; the switch
+	// and low-share means are pointers because zero is a legitimate
+	// value there (static policies never switch) that plain omitempty
+	// would silently drop.
+	Policy            string   `json:"policy,omitempty"`
+	DVFSPerformance   float64  `json:"dvfs_performance,omitempty"`
+	DVFSEnergyPerInst float64  `json:"dvfs_energy_per_instruction,omitempty"`
+	DVFSSwitches      *float64 `json:"dvfs_switches,omitempty"`
+	DVFSLowShare      *float64 `json:"dvfs_low_share,omitempty"`
 }
 
 // faultDependent reports whether the scheme's simulated IPC varies with
@@ -98,6 +112,13 @@ func (s Spec) evaluate(c Cell) (Row, error) {
 	row.Voltage = op.Voltage
 	row.Frequency = op.Freq
 	row.EnergyPerInstruction = power.EnergyPerWork(op)
+
+	// Scheduled cells run the dvfs engine over the multi-phase workloads
+	// instead of the fixed-mode Monte Carlo below; the Section IV
+	// analytics and Fig. 1 operating point above still apply.
+	if c.Policy != dvfs.PolicyNone {
+		return s.evaluateDVFS(c, row, seed)
+	}
 
 	machine := sim.Reference(sim.LowVoltage)
 	machine.L1Size = c.Geometry.SizeBytes
@@ -173,5 +194,47 @@ func (s Spec) evaluate(c Cell) (Row, error) {
 		row.IPCDegradation = 1 - row.MeanIPC/row.BaselineIPC
 	}
 	row.MeasuredCapacity = stats.Mean(caps)
+	return row, nil
+}
+
+// evaluateDVFS computes a scheduled (policy != none) cell: one dual-mode
+// run per DVFS workload, rescaled to the spec's instruction budget, with
+// the row reporting workload means. The cell seed roots every run, so
+// the row stays a pure function of (key, base seed) like every other.
+func (s Spec) evaluateDVFS(c Cell, row Row, seed int64) (Row, error) {
+	row.Policy = c.Policy.String()
+	row.Trials = 1
+	row.Benchmarks = len(s.DVFSWorkloads)
+
+	var perfs, epis, switches, lowShares []float64
+	for _, name := range s.DVFSWorkloads {
+		mp, err := workload.MultiPhaseByName(name)
+		if err != nil {
+			return Row{}, wrapCellErr(row.Key, err)
+		}
+		res, err := dvfs.Run(dvfs.Config{
+			Workload: mp.Scaled(s.Instructions),
+			Scheme:   c.Scheme,
+			Victim:   c.Victim,
+			Geometry: c.Geometry,
+			Pfail:    c.Pfail,
+			Policy:   c.Policy,
+			Seed:     faults.DeriveSeed(seed, "dvfs", name),
+		})
+		if err != nil {
+			return Row{}, wrapCellErr(row.Key, err)
+		}
+		perfs = append(perfs, res.Performance)
+		epis = append(epis, res.EnergyPerInstruction)
+		switches = append(switches, float64(res.Switches))
+		if res.TotalInstructions > 0 {
+			lowShares = append(lowShares, float64(res.LowInstructions)/float64(res.TotalInstructions))
+		}
+	}
+	row.DVFSPerformance = stats.Mean(perfs)
+	row.DVFSEnergyPerInst = stats.Mean(epis)
+	meanSwitches, meanLowShare := stats.Mean(switches), stats.Mean(lowShares)
+	row.DVFSSwitches = &meanSwitches
+	row.DVFSLowShare = &meanLowShare
 	return row, nil
 }

@@ -1,0 +1,233 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vccmin/internal/dvfs"
+	"vccmin/internal/geom"
+	"vccmin/internal/prob"
+	"vccmin/internal/sim"
+)
+
+// The policy axis must be invisible unless used: classic specs keep
+// their cell keys, grid indices and canonical hashes bit for bit, or
+// every serve-layer job identity and resumable checkpoint breaks.
+
+func TestClassicCellKeysCarryNoPolicy(t *testing.T) {
+	spec := Spec{Schemes: []sim.Scheme{sim.Baseline}}.withDefaults()
+	for _, c := range spec.Cells() {
+		if strings.Contains(c.Key(), "policy=") {
+			t.Fatalf("classic cell key %q mentions the policy axis", c.Key())
+		}
+	}
+}
+
+func TestCanonicalHashIgnoresDVFSFieldsWhenUnscheduled(t *testing.T) {
+	base := Spec{Schemes: []sim.Scheme{sim.Baseline}}
+	h := base.CanonicalHash()
+
+	explicit := base
+	explicit.Policies = []dvfs.PolicyKind{dvfs.PolicyNone}
+	explicit.DVFSWorkloads = []string{"bursty-server"}
+	if explicit.CanonicalHash() != h {
+		t.Fatal("an unscheduled spec's hash moved when DVFS fields were spelled out")
+	}
+
+	scheduled := base
+	scheduled.Policies = []dvfs.PolicyKind{dvfs.PolicyStaticHigh}
+	if scheduled.CanonicalHash() == h {
+		t.Fatal("adding a scheduled policy did not change the hash")
+	}
+	otherWorkloads := scheduled
+	otherWorkloads.DVFSWorkloads = []string{"bursty-server"}
+	if otherWorkloads.CanonicalHash() == scheduled.CanonicalHash() {
+		t.Fatal("changing DVFS workloads on a scheduled spec did not change the hash")
+	}
+}
+
+func TestScheduledCellsEvaluate(t *testing.T) {
+	spec := Spec{
+		Pfails:       []float64{0.001},
+		Schemes:      []sim.Scheme{sim.BlockDisable},
+		Policies:     []dvfs.PolicyKind{dvfs.PolicyStaticHigh, dvfs.PolicyStaticLow},
+		Instructions: 6000,
+		BaseSeed:     3,
+	}
+	var buf bytes.Buffer
+	res, err := Run(spec, RunOptions{Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Computed != 2 {
+		t.Fatalf("computed %d cells, want 2", res.Computed)
+	}
+	byPolicy := map[string]Row{}
+	for _, row := range res.Rows {
+		if !strings.Contains(row.Key, ";policy="+row.Policy) {
+			t.Errorf("scheduled key %q does not carry its policy %q", row.Key, row.Policy)
+		}
+		if row.DVFSPerformance <= 0 {
+			t.Errorf("cell %s: no dvfs performance", row.Key)
+		}
+		if row.MeanIPC != 0 || row.BaselineIPC != 0 {
+			t.Errorf("cell %s: scheduled cell ran the fixed-mode Monte Carlo", row.Key)
+		}
+		if row.ExpectedCapacity <= 0 || row.Voltage <= 0 {
+			t.Errorf("cell %s: shared analytics missing", row.Key)
+		}
+		byPolicy[row.Policy] = row
+	}
+	high, low := byPolicy["static-high"], byPolicy["static-low"]
+	if high.DVFSPerformance <= low.DVFSPerformance {
+		t.Errorf("static-high performance %v not above static-low %v", high.DVFSPerformance, low.DVFSPerformance)
+	}
+	if high.DVFSEnergyPerInst <= low.DVFSEnergyPerInst {
+		t.Errorf("static-high energy %v not above static-low %v", high.DVFSEnergyPerInst, low.DVFSEnergyPerInst)
+	}
+
+	// Scheduled rows round-trip through the checkpoint readers.
+	rows, err := ReadRows(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Policy == "" {
+		t.Fatalf("checkpoint round-trip lost the policy axis: %+v", rows)
+	}
+}
+
+// TestScheduledCellsRespectGeometry pins the fix for the policy axis
+// ignoring the geometry axis: the same policy over two L1 geometries
+// must produce different scheduled measurements (a shrunken cache
+// changes every phase's cycle count), and the summary must carry a
+// policy axis with the dvfs means instead of folding the scheduled
+// rows' zero IPC degradation into the classic marginals.
+func TestScheduledCellsRespectGeometry(t *testing.T) {
+	spec := Spec{
+		Pfails:       []float64{0.001},
+		Geometries:   []geom.Geometry{geom.MustNew(32*1024, 8, 64), geom.MustNew(8*1024, 4, 64)},
+		Schemes:      []sim.Scheme{sim.BlockDisable},
+		Policies:     []dvfs.PolicyKind{dvfs.PolicyStaticHigh},
+		Instructions: 6000,
+		BaseSeed:     3,
+	}
+	res, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("computed %d rows, want 2", len(res.Rows))
+	}
+	if res.Rows[0].DVFSPerformance == res.Rows[1].DVFSPerformance {
+		t.Fatalf("both geometries report dvfs performance %v — the geometry axis is being ignored",
+			res.Rows[0].DVFSPerformance)
+	}
+	var policyGroups int
+	for _, g := range Summarize(res.Rows) {
+		if g.Axis == "policy" {
+			policyGroups++
+			if g.MeanDVFSPerformance <= 0 {
+				t.Errorf("policy summary %q has no dvfs performance mean", g.Value)
+			}
+		}
+		if g.Axis != "policy" && g.Cells != 0 {
+			t.Errorf("scheduled-only sweep produced classic %s summary with %d cells", g.Axis, g.Cells)
+		}
+	}
+	if policyGroups != 1 {
+		t.Fatalf("summary has %d policy groups, want 1", policyGroups)
+	}
+}
+
+// TestScheduledCellsCollapseGranularity pins that scheduled cells are
+// enumerated once per (pfail, geometry, scheme, victim) regardless of
+// the granularity axis: granularity only feeds the analytic capacity,
+// which scheduled runs do not consume, so repeating them would triple
+// the grid's most expensive cells for seed noise.
+func TestScheduledCellsCollapseGranularity(t *testing.T) {
+	spec := Spec{
+		Granularities: []prob.Granularity{prob.GranularityBlock, prob.GranularitySet, prob.GranularityWay},
+		Policies:      []dvfs.PolicyKind{dvfs.PolicyNone, dvfs.PolicyOracle},
+	}.withDefaults()
+	var classic, scheduled int
+	for _, c := range spec.Cells() {
+		if c.Policy == dvfs.PolicyNone {
+			classic++
+		} else {
+			scheduled++
+		}
+	}
+	if classic != 3 || scheduled != 1 {
+		t.Fatalf("3 granularities × (none, oracle) enumerated %d classic + %d scheduled cells, want 3 + 1",
+			classic, scheduled)
+	}
+}
+
+// TestScheduledRowsKeepZeroSwitches pins that a static policy's zero
+// switch count survives JSON encoding (the field is a pointer exactly
+// so omitempty cannot eat a real zero).
+func TestScheduledRowsKeepZeroSwitches(t *testing.T) {
+	spec := Spec{
+		Schemes:      []sim.Scheme{sim.BlockDisable},
+		Policies:     []dvfs.PolicyKind{dvfs.PolicyStaticHigh},
+		Instructions: 6000,
+		BaseSeed:     3,
+	}
+	var buf bytes.Buffer
+	if _, err := Run(spec, RunOptions{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.Contains(line, `"dvfs_switches":0`) || !strings.Contains(line, `"dvfs_low_share":0`) {
+		t.Fatalf("static-high row dropped its zero switch/low-share fields: %s", line)
+	}
+}
+
+// TestResumeRefusesForeignGrid pins the stale-spec guard: a checkpoint
+// whose rows sit at different grid indices under the resuming spec
+// (here because a policy value was added, shifting classic cells) must
+// be refused, not silently stitched into a file with colliding indices.
+func TestResumeRefusesForeignGrid(t *testing.T) {
+	classic := Spec{
+		Pfails:       []float64{0.001, 0.002},
+		Schemes:      []sim.Scheme{sim.Baseline},
+		Instructions: 2000,
+		BaseSeed:     3,
+	}
+	var out bytes.Buffer
+	if _, err := Run(classic, RunOptions{Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+
+	extended := classic
+	extended.Policies = []dvfs.PolicyKind{dvfs.PolicyNone, dvfs.PolicyStaticHigh}
+	if _, err := Resume(extended, bytes.NewReader(out.Bytes()), RunOptions{}); err == nil {
+		t.Fatal("resume accepted a checkpoint written by a different grid")
+	}
+
+	foreign := classic
+	foreign.Pfails = []float64{0.005}
+	if _, err := Resume(foreign, bytes.NewReader(out.Bytes()), RunOptions{}); err == nil {
+		t.Fatal("resume accepted a checkpoint with cells outside the spec's grid")
+	}
+
+	// The same spec still resumes cleanly.
+	res, err := Resume(classic, bytes.NewReader(out.Bytes()), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 2 || res.Computed != 0 {
+		t.Fatalf("same-spec resume skipped %d computed %d, want 2 and 0", res.Skipped, res.Computed)
+	}
+}
+
+func TestScheduledSpecRejectsUnknownWorkload(t *testing.T) {
+	spec := Spec{
+		Policies:      []dvfs.PolicyKind{dvfs.PolicyStaticHigh},
+		DVFSWorkloads: []string{"nope"},
+	}.withDefaults()
+	if err := spec.Check(); err == nil {
+		t.Fatal("unknown DVFS workload accepted")
+	}
+}

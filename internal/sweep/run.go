@@ -217,8 +217,22 @@ func ReadRows(r io.Reader) ([]Row, error) {
 // valid. A complete line that fails to parse is real corruption and an
 // error.
 func LoadCompleted(r io.Reader) (done map[string]struct{}, valid int64, err error) {
+	indexed, valid, err := loadCompletedIndexed(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	done = make(map[string]struct{}, len(indexed))
+	for k := range indexed {
+		done[k] = struct{}{}
+	}
+	return done, valid, nil
+}
+
+// loadCompletedIndexed is LoadCompleted keeping each row's grid index,
+// so the resume path can verify the checkpoint against the spec's grid.
+func loadCompletedIndexed(r io.Reader) (done map[string]int, valid int64, err error) {
 	br := bufio.NewReader(r)
-	done = map[string]struct{}{}
+	done = map[string]int{}
 	for ln := 1; ; ln++ {
 		line, err := br.ReadBytes('\n')
 		if err == io.EOF {
@@ -240,10 +254,35 @@ func LoadCompleted(r io.Reader) (done map[string]struct{}, valid int64, err erro
 				return nil, 0, fmt.Errorf("sweep: line %d: checkpoint stream %q incompatible with engine stream %q — delete the checkpoint and rerun",
 					ln, row.Stream, StreamVersion)
 			}
-			done[row.Key] = struct{}{}
+			done[row.Key] = row.Index
 		}
 		valid += int64(len(line))
 	}
+}
+
+// checkAgainstGrid verifies that every checkpoint row belongs to the
+// spec's grid at the recorded index. A key the grid does not contain, or
+// a key whose grid position moved (the spec's axes changed — e.g. a
+// policy or pfail value was added), means the checkpoint was written by
+// a different spec: completing it would stitch rows with colliding,
+// non-monotonic indices into one file. Refuse, like a stream mismatch.
+func checkAgainstGrid(spec Spec, done map[string]int) (map[string]struct{}, error) {
+	grid := make(map[string]int)
+	for _, c := range spec.Cells() {
+		grid[c.Key()] = c.Index
+	}
+	set := make(map[string]struct{}, len(done))
+	for key, idx := range done {
+		want, ok := grid[key]
+		if !ok {
+			return nil, fmt.Errorf("sweep: checkpoint cell %q is not in this spec's grid — the checkpoint was written by a different spec; rerun instead of resuming", key)
+		}
+		if want != idx {
+			return nil, fmt.Errorf("sweep: checkpoint cell %q has grid index %d but this spec puts it at %d — the checkpoint was written by a different spec; rerun instead of resuming", key, idx, want)
+		}
+		set[key] = struct{}{}
+	}
+	return set, nil
 }
 
 // Resume is Run skipping the cells already present in the prior output
@@ -258,7 +297,11 @@ func LoadCompleted(r io.Reader) (done map[string]struct{}, valid int64, err erro
 // extended.
 func Resume(spec Spec, prev io.Reader, opt RunOptions) (*Result, error) {
 	cr := &countingReader{r: prev}
-	done, valid, err := LoadCompleted(cr)
+	indexed, valid, err := loadCompletedIndexed(cr)
+	if err != nil {
+		return nil, err
+	}
+	done, err := checkAgainstGrid(spec.withDefaults(), indexed)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +335,11 @@ func ResumeFile(spec Spec, path string, opt RunOptions) (*Result, error) {
 	}
 	defer f.Close()
 	cr := &countingReader{r: f}
-	done, valid, err := LoadCompleted(cr)
+	indexed, valid, err := loadCompletedIndexed(cr)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: loading %s: %w", path, err)
+	}
+	done, err := checkAgainstGrid(spec.withDefaults(), indexed)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: loading %s: %w", path, err)
 	}

@@ -23,9 +23,11 @@ import (
 	"runtime"
 	"strconv"
 
+	"vccmin/internal/dvfs"
 	"vccmin/internal/geom"
 	"vccmin/internal/prob"
 	"vccmin/internal/sim"
+	"vccmin/internal/workload"
 )
 
 // Spec describes a sweep: the grid axes plus per-cell Monte Carlo and
@@ -37,6 +39,19 @@ type Spec struct {
 	Schemes       []sim.Scheme
 	Victims       []sim.VictimKind
 	Granularities []prob.Granularity
+
+	// Policies is the phase-aware DVFS scheduling axis. The default is
+	// the single value dvfs.PolicyNone, which evaluates cells the classic
+	// way (Monte Carlo IPC at a fixed mode) and — deliberately — leaves
+	// their keys, seeds and rows byte-identical to pre-axis sweeps. Any
+	// other policy turns the cell into a scheduled dual-mode run over the
+	// DVFSWorkloads and fills the row's dvfs_* fields instead of the
+	// fixed-mode Monte Carlo ones.
+	Policies []dvfs.PolicyKind
+
+	// DVFSWorkloads are the multi-phase workloads averaged within each
+	// scheduled (policy != none) cell. Default: compute-memory-swing.
+	DVFSWorkloads []string
 
 	// Per-cell Monte Carlo parameters.
 	Benchmarks   []string // workloads averaged within each cell
@@ -80,6 +95,12 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Granularities) == 0 {
 		s.Granularities = []prob.Granularity{prob.GranularityBlock}
 	}
+	if len(s.Policies) == 0 {
+		s.Policies = []dvfs.PolicyKind{dvfs.PolicyNone}
+	}
+	if len(s.DVFSWorkloads) == 0 {
+		s.DVFSWorkloads = []string{"compute-memory-swing"}
+	}
 	if len(s.Benchmarks) == 0 {
 		s.Benchmarks = []string{"crafty", "mcf", "gzip"}
 	}
@@ -116,6 +137,13 @@ func (s Spec) Check() error {
 			return fmt.Errorf("sweep: %w", err)
 		}
 	}
+	if s.hasScheduledPolicy() {
+		for _, w := range s.DVFSWorkloads {
+			if _, err := workload.MultiPhaseByName(w); err != nil {
+				return fmt.Errorf("sweep: %w", err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -127,16 +155,24 @@ type Cell struct {
 	Scheme      sim.Scheme
 	Victim      sim.VictimKind
 	Granularity prob.Granularity
+	Policy      dvfs.PolicyKind
 }
 
 // Key returns the cell's canonical coordinate string. It identifies the
 // cell across runs — the resume logic matches on it — and roots the
 // cell's seed stream, so its format is part of the on-disk contract.
+// The policy coordinate appears only when the cell is a scheduled
+// (policy != none) one: classic cells keep the exact pre-axis key, so
+// old checkpoints resume and old canonical hashes survive.
 func (c Cell) Key() string {
-	return fmt.Sprintf("pfail=%s;geom=%dx%dx%d;scheme=%s;victim=%s;gran=%s",
+	key := fmt.Sprintf("pfail=%s;geom=%dx%dx%d;scheme=%s;victim=%s;gran=%s",
 		strconv.FormatFloat(c.Pfail, 'g', -1, 64),
 		c.Geometry.SizeBytes, c.Geometry.Ways, c.Geometry.BlockBytes,
 		c.Scheme, c.Victim, c.Granularity)
+	if c.Policy != dvfs.PolicyNone {
+		key += ";policy=" + c.Policy.String()
+	}
+	return key
 }
 
 // Cells enumerates the full grid in canonical order (pfail outermost,
@@ -149,12 +185,25 @@ func (s Spec) Cells() []Cell {
 		for _, g := range s.Geometries {
 			for _, sc := range s.Schemes {
 				for _, v := range s.Victims {
-					for _, gr := range s.Granularities {
-						out = append(out, Cell{
-							Index: i, Pfail: p, Geometry: g,
-							Scheme: sc, Victim: v, Granularity: gr,
-						})
-						i++
+					for gi, gr := range s.Granularities {
+						for _, pol := range s.Policies {
+							// Disabling granularity only enters the
+							// analytic capacity, which scheduled runs do
+							// not consume — enumerating a scheduled cell
+							// per granularity value would repeat the
+							// grid's most expensive simulation to produce
+							// rows differing only by seed noise dressed
+							// up as granularity sensitivity.
+							if pol != dvfs.PolicyNone && gi > 0 {
+								continue
+							}
+							out = append(out, Cell{
+								Index: i, Pfail: p, Geometry: g,
+								Scheme: sc, Victim: v, Granularity: gr,
+								Policy: pol,
+							})
+							i++
+						}
 					}
 				}
 			}
@@ -185,8 +234,28 @@ func (s Spec) CanonicalHash() string {
 	for _, b := range s.Benchmarks {
 		fmt.Fprintf(h, "benchmark=%d:%s\n", len(b), b)
 	}
+	// The DVFS workload list is result-defining only when a scheduled
+	// policy is on the grid; digesting it conditionally keeps every
+	// pre-axis spec's hash (and therefore the serve layer's job identity
+	// and dedup behaviour) exactly what it was.
+	if s.hasScheduledPolicy() {
+		for _, w := range s.DVFSWorkloads {
+			fmt.Fprintf(h, "dvfs-workload=%d:%s\n", len(w), w)
+		}
+	}
 	for _, c := range s.Cells() {
 		fmt.Fprintf(h, "%d:%s\n", c.Index, c.Key())
 	}
 	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// hasScheduledPolicy reports whether any grid cell runs the dvfs
+// scheduler (a policy other than PolicyNone).
+func (s Spec) hasScheduledPolicy() bool {
+	for _, p := range s.Policies {
+		if p != dvfs.PolicyNone {
+			return true
+		}
+	}
+	return false
 }

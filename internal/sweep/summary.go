@@ -16,15 +16,33 @@ type AxisSummary struct {
 	MeanExpectedCapacity     float64 `json:"mean_expected_capacity"`
 	MeanIPCDegradation       float64 `json:"mean_ipc_degradation"`
 	MeanEnergyPerInstruction float64 `json:"mean_energy_per_instruction"`
+
+	// Scheduled-cell metrics, set only on the "policy" axis (omitempty
+	// keeps classic summaries byte-identical to pre-axis outputs).
+	MeanDVFSPerformance          float64 `json:"mean_dvfs_performance,omitempty"`
+	MeanDVFSEnergyPerInstruction float64 `json:"mean_dvfs_energy_per_instruction,omitempty"`
 }
 
-// Summarize groups rows by each axis value and averages the three headline
-// metrics. Output order is deterministic: axes in grid order, values in
-// ascending cell-index order of first appearance.
+// Summarize groups rows by each axis value and averages the headline
+// metrics. Classic (fixed-mode Monte Carlo) rows feed the five classic
+// axes; scheduled (policy != none) rows feed a separate "policy" axis
+// with the dvfs metrics — mixing the two would average the scheduled
+// rows' always-zero IPC degradation into the classic marginals. Output
+// order is deterministic: axes in grid order, values in ascending
+// cell-index order of first appearance.
 func Summarize(rows []Row) []AxisSummary {
 	sorted := make([]Row, len(rows))
 	copy(sorted, rows)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+
+	var classic, scheduled []Row
+	for _, r := range sorted {
+		if r.Policy == "" {
+			classic = append(classic, r)
+		} else {
+			scheduled = append(scheduled, r)
+		}
+	}
 
 	axes := []struct {
 		name string
@@ -43,7 +61,7 @@ func Summarize(rows []Row) []AxisSummary {
 	for _, ax := range axes {
 		idx := map[string]int{}
 		var groups []AxisSummary
-		for _, r := range sorted {
+		for _, r := range classic {
 			v := ax.key(r)
 			i, ok := idx[v]
 			if !ok {
@@ -65,5 +83,29 @@ func Summarize(rows []Row) []AxisSummary {
 		}
 		out = append(out, groups...)
 	}
-	return out
+
+	idx := map[string]int{}
+	var groups []AxisSummary
+	for _, r := range scheduled {
+		i, ok := idx[r.Policy]
+		if !ok {
+			i = len(groups)
+			idx[r.Policy] = i
+			groups = append(groups, AxisSummary{Axis: "policy", Value: r.Policy})
+		}
+		g := &groups[i]
+		g.Cells++
+		g.MeanExpectedCapacity += r.ExpectedCapacity
+		g.MeanEnergyPerInstruction += r.EnergyPerInstruction
+		g.MeanDVFSPerformance += r.DVFSPerformance
+		g.MeanDVFSEnergyPerInstruction += r.DVFSEnergyPerInst
+	}
+	for i := range groups {
+		n := float64(groups[i].Cells)
+		groups[i].MeanExpectedCapacity /= n
+		groups[i].MeanEnergyPerInstruction /= n
+		groups[i].MeanDVFSPerformance /= n
+		groups[i].MeanDVFSEnergyPerInstruction /= n
+	}
+	return append(out, groups...)
 }

@@ -1,0 +1,142 @@
+// Command linkcheck verifies the repository's Markdown cross-references:
+// every relative link in every *.md file must point at a file that
+// exists, and every fragment (`#section`) must match a heading of the
+// target document (GitHub-style slugs). External links (http, https,
+// mailto) are out of scope — CI must not depend on the network.
+//
+// Usage:
+//
+//	go run ./internal/tools/linkcheck        # check the working tree
+//	go run ./internal/tools/linkcheck DIR    # check another root
+//
+// Exit status 1 and one line per broken link on failure.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links and images: [text](target) —
+// the target taken up to the first whitespace or closing parenthesis.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings, whose slugs anchor fragments.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}[ \t]+(.+?)[ \t]*#*$`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and anything a build drops in the tree.
+			switch d.Name() {
+			case ".git", "node_modules", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		broken += checkFile(root, path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile validates every relative link in one Markdown file and
+// returns the number of broken ones.
+func checkFile(root, path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %s: %v\n", path, err)
+		return 1
+	}
+	broken := 0
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if isExternal(target) {
+			continue
+		}
+		file, frag, _ := strings.Cut(target, "#")
+		resolved := path // self-reference for pure fragments
+		if file != "" {
+			if strings.HasPrefix(file, "/") {
+				resolved = filepath.Join(root, file)
+			} else {
+				resolved = filepath.Join(filepath.Dir(path), file)
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "linkcheck: %s: broken link %q (no such file)\n", path, target)
+				broken++
+				continue
+			}
+		}
+		if frag != "" && !hasAnchor(resolved, frag) {
+			fmt.Fprintf(os.Stderr, "linkcheck: %s: broken link %q (no heading for #%s)\n", path, target, frag)
+			broken++
+		}
+	}
+	return broken
+}
+
+// isExternal reports whether the link target leaves the repository.
+func isExternal(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+// hasAnchor reports whether the Markdown file has a heading whose
+// GitHub-style slug equals frag. Non-Markdown targets (a fragment into
+// a source file) are accepted without inspection.
+func hasAnchor(path, frag string) bool {
+	if !strings.EqualFold(filepath.Ext(path), ".md") {
+		return true
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	for _, h := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		if slugify(h[1]) == frag {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify reduces a heading to its GitHub anchor: lowercase, markup and
+// punctuation stripped, spaces to hyphens.
+func slugify(heading string) string {
+	// Drop inline code/emphasis markers and links' bracket syntax first.
+	heading = strings.NewReplacer("`", "", "*", "", "_", "_", "[", "", "]", "").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ' || r == '\t':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

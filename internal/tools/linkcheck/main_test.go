@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Serving":                                   "serving",
+		"RNG-stream versioning (\"sparse-v1\")":     "rng-stream-versioning-sparse-v1",
+		"Fast-path fault sampling and worker knobs": "fast-path-fault-sampling-and-worker-knobs",
+		"`make check` targets":                      "make-check-targets",
+	}
+	for heading, want := range cases {
+		if got := slugify(heading); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", heading, got, want)
+		}
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("docs/target.md", "# Real Heading\n\nbody\n")
+	good := write("good.md", "[ok](docs/target.md) [anchor](docs/target.md#real-heading)\n"+
+		"[self](#local) [ext](https://example.com/x)\n\n# Local\n")
+	if n := checkFile(dir, good); n != 0 {
+		t.Fatalf("good file reported %d broken links", n)
+	}
+	bad := write("bad.md", "[missing](nope.md) [badfrag](docs/target.md#nope) [badself](#nope)\n")
+	if n := checkFile(dir, bad); n != 3 {
+		t.Fatalf("bad file reported %d broken links, want 3", n)
+	}
+}
+
+func TestIsExternal(t *testing.T) {
+	for target, want := range map[string]bool{
+		"https://example.com": true,
+		"http://example.com":  true,
+		"mailto:a@b.c":        true,
+		"docs/x.md":           false,
+		"#anchor":             false,
+	} {
+		if got := isExternal(target); got != want {
+			t.Errorf("isExternal(%q) = %v, want %v", target, got, want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import "strconv"
+
+// Segment is one phase of a PhasedGenerator: a generator and the number
+// of instructions it supplies before the stream moves on.
+type Segment struct {
+	Gen          Generator
+	Instructions int
+}
+
+// PhasedGenerator concatenates per-phase instruction streams and exposes
+// phase-boundary markers: consumers that execute the stream in chunks
+// (like the dvfs scheduler) can ask which phase the next instruction
+// belongs to and how much of it remains, and an optional OnPhase hook
+// observes every boundary crossing. After the last segment drains, the
+// sequence restarts from the first segment (each segment's generator
+// continues from its own internal state), so the stream is unbounded as
+// the Generator contract requires.
+type PhasedGenerator struct {
+	// OnPhase, if set, is called when the stream enters a phase (including
+	// phase 0 on the first Next), before that phase's first instruction is
+	// drawn.
+	OnPhase func(phase int)
+
+	segs    []Segment
+	idx     int
+	left    int
+	started bool
+}
+
+// NewPhased builds a phased generator over the segments. Segments with
+// non-positive instruction counts are rejected by the callers that build
+// them (workload.MultiPhase.Check); here they would make Next spin, so
+// they panic.
+func NewPhased(segs []Segment) *PhasedGenerator {
+	if len(segs) == 0 {
+		panic("trace: phased generator needs at least one segment")
+	}
+	for i, s := range segs {
+		if s.Gen == nil || s.Instructions <= 0 {
+			panic("trace: phased generator segment " + strconv.Itoa(i) + " is empty")
+		}
+	}
+	return &PhasedGenerator{segs: segs, left: segs[0].Instructions}
+}
+
+// Phase returns the index of the segment the next instruction will come
+// from. The internal wrap to the next segment happens lazily inside Next,
+// so a drained segment (Remaining of the raw state hitting zero) is
+// already reported as the next one here.
+func (p *PhasedGenerator) Phase() int {
+	if p.left == 0 {
+		return (p.idx + 1) % len(p.segs)
+	}
+	return p.idx
+}
+
+// Remaining returns how many instructions the phase reported by Phase
+// still supplies.
+func (p *PhasedGenerator) Remaining() int {
+	if p.left == 0 {
+		return p.segs[(p.idx+1)%len(p.segs)].Instructions
+	}
+	return p.left
+}
+
+// Phases returns the segment count.
+func (p *PhasedGenerator) Phases() int { return len(p.segs) }
+
+// Next implements Generator.
+func (p *PhasedGenerator) Next(out *Instr) {
+	if !p.started {
+		p.started = true
+		if p.OnPhase != nil {
+			p.OnPhase(p.idx)
+		}
+	}
+	if p.left == 0 {
+		p.idx = (p.idx + 1) % len(p.segs)
+		p.left = p.segs[p.idx].Instructions
+		if p.OnPhase != nil {
+			p.OnPhase(p.idx)
+		}
+	}
+	p.segs[p.idx].Gen.Next(out)
+	p.left--
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// constGen emits a fixed PC so segments are distinguishable.
+type constGen struct{ pc uint64 }
+
+func (c *constGen) Next(out *Instr) { *out = Instr{PC: c.pc, Class: IntALU} }
+
+func TestPhasedGeneratorBoundaries(t *testing.T) {
+	p := NewPhased([]Segment{
+		{Gen: &constGen{pc: 1}, Instructions: 3},
+		{Gen: &constGen{pc: 2}, Instructions: 2},
+	})
+	var entered []int
+	p.OnPhase = func(phase int) { entered = append(entered, phase) }
+
+	var got []uint64
+	var ins Instr
+	for i := 0; i < 7; i++ { // one full pass plus wrap into phase 0 again
+		if want := []int{0, 0, 0, 1, 1, 0, 0}[i]; p.Phase() != want {
+			t.Fatalf("before instr %d: Phase() = %d, want %d", i, p.Phase(), want)
+		}
+		p.Next(&ins)
+		got = append(got, ins.PC)
+	}
+	if want := []uint64{1, 1, 1, 2, 2, 1, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream = %v, want %v", got, want)
+	}
+	if want := []int{0, 1, 0}; !reflect.DeepEqual(entered, want) {
+		t.Fatalf("OnPhase sequence = %v, want %v", entered, want)
+	}
+}
+
+func TestPhasedGeneratorRemaining(t *testing.T) {
+	p := NewPhased([]Segment{
+		{Gen: &constGen{pc: 1}, Instructions: 2},
+		{Gen: &constGen{pc: 2}, Instructions: 4},
+	})
+	var ins Instr
+	if p.Remaining() != 2 {
+		t.Fatalf("Remaining at start = %d, want 2", p.Remaining())
+	}
+	p.Next(&ins)
+	p.Next(&ins)
+	// Phase 0 drained: the view already reports phase 1 even though the
+	// internal wrap happens on the next draw.
+	if p.Phase() != 1 || p.Remaining() != 4 {
+		t.Fatalf("after draining phase 0: Phase()=%d Remaining()=%d, want 1 and 4", p.Phase(), p.Remaining())
+	}
+}
+
+func TestPhasedGeneratorPanics(t *testing.T) {
+	for name, segs := range map[string][]Segment{
+		"empty":         nil,
+		"zero budget":   {{Gen: &constGen{}, Instructions: 0}},
+		"nil generator": {{Gen: nil, Instructions: 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewPhased did not panic", name)
+				}
+			}()
+			NewPhased(segs)
+		}()
+	}
+}

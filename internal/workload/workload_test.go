@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"vccmin/internal/trace"
@@ -49,28 +50,64 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestProfileCheckRejects drives every error branch of Profile.Check and
+// pins that the message names what went wrong — a profile author sees
+// the failing field, not a generic rejection.
 func TestProfileCheckRejects(t *testing.T) {
 	good, _ := ByName("gzip")
-	cases := []func(*Profile){
-		func(p *Profile) { p.Name = "" },
-		func(p *Profile) { p.LoadFrac = 0.9; p.StoreFrac = 0.4 },
-		func(p *Profile) { p.FPFrac = 1.5 },
-		func(p *Profile) { p.ColdFrac = -0.1 },
-		func(p *Profile) { p.Reuse = nil; p.ColdFrac = 0.5 },
-		func(p *Profile) { p.IFootprintBlocks = 0 },
-		func(p *Profile) { p.StaticBranches = 0 },
-		func(p *Profile) { p.RandomBranchFrac = 2 },
-		func(p *Profile) { p.MeanDepDist = 0.5 },
-		func(p *Profile) { p.Reuse = []ReuseComponent{{Weight: -1, Blocks: 10}} },
-		func(p *Profile) { p.Reuse = []ReuseComponent{{Weight: 1, Blocks: 10, HotSets: -2}} },
+	cases := []struct {
+		name    string
+		wantErr string // substring the error must carry
+		mutate  func(*Profile)
+	}{
+		{"empty name", "needs a name",
+			func(p *Profile) { p.Name = "" }},
+		{"mix above bound", "out of [0, 0.95]",
+			func(p *Profile) { p.LoadFrac = 0.9; p.StoreFrac = 0.4 }},
+		{"negative mix", "out of [0, 0.95]",
+			func(p *Profile) { p.LoadFrac = -0.5; p.StoreFrac = 0.1; p.BranchFrac = 0.1 }},
+		{"fp fraction above one", "FP/mult fractions",
+			func(p *Profile) { p.FPFrac = 1.5 }},
+		{"mult fraction negative", "FP/mult fractions",
+			func(p *Profile) { p.MultFrac = -0.1 }},
+		{"cold fraction negative", "cold fraction",
+			func(p *Profile) { p.ColdFrac = -0.1 }},
+		{"cold fraction above one", "cold fraction",
+			func(p *Profile) { p.ColdFrac = 1.1 }},
+		{"memory without reuse", "need reuse components",
+			func(p *Profile) { p.Reuse = nil; p.ColdFrac = 0.5 }},
+		{"no instruction footprint", "instruction footprint",
+			func(p *Profile) { p.IFootprintBlocks = 0 }},
+		{"no static branches", "static branches",
+			func(p *Profile) { p.StaticBranches = 0 }},
+		{"random branch fraction", "random branch fraction",
+			func(p *Profile) { p.RandomBranchFrac = 2 }},
+		{"dependence distance below one", "must be >= 1",
+			func(p *Profile) { p.MeanDepDist = 0.5 }},
+		{"negative target bias", "target bias",
+			func(p *Profile) { p.TargetBias = -1 }},
+		{"load chain fraction", "load chain fraction",
+			func(p *Profile) { p.LoadChainFrac = 1.5 }},
+		{"reuse weight", "reuse component",
+			func(p *Profile) { p.Reuse = []ReuseComponent{{Weight: -1, Blocks: 10}} }},
+		{"reuse blocks", "reuse component",
+			func(p *Profile) { p.Reuse = []ReuseComponent{{Weight: 1, Blocks: 0}} }},
+		{"negative hot sets", "negative hot sets",
+			func(p *Profile) { p.Reuse = []ReuseComponent{{Weight: 1, Blocks: 10, HotSets: -2}} }},
 	}
-	for i, mutate := range cases {
-		p := good
-		p.Reuse = append([]ReuseComponent(nil), good.Reuse...)
-		mutate(&p)
-		if err := p.Check(); err == nil {
-			t.Errorf("case %d: Check accepted invalid profile", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good
+			p.Reuse = append([]ReuseComponent(nil), good.Reuse...)
+			tc.mutate(&p)
+			err := p.Check()
+			if err == nil {
+				t.Fatal("Check accepted an invalid profile")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -47,6 +47,7 @@ import (
 	"math/rand"
 
 	"vccmin/internal/core"
+	"vccmin/internal/dvfs"
 	"vccmin/internal/experiments"
 	"vccmin/internal/faults"
 	"vccmin/internal/geom"
@@ -231,6 +232,83 @@ func Benchmarks() []Benchmark { return workload.Profiles() }
 
 // BenchmarkNames returns the 26 benchmark names in figure order.
 func BenchmarkNames() []string { return workload.Names() }
+
+// MultiPhaseWorkload is a piecewise workload: a named sequence of
+// benchmark phases with per-phase instruction budgets — the input of the
+// phase-aware DVFS scheduler.
+type MultiPhaseWorkload = workload.MultiPhase
+
+// WorkloadPhase is one segment of a MultiPhaseWorkload.
+type WorkloadPhase = workload.Phase
+
+// MultiPhaseWorkloads returns the builtin multi-phase workloads
+// (compute/memory swings, bursty server rhythms, cache-pressure ramps).
+func MultiPhaseWorkloads() []MultiPhaseWorkload { return workload.MultiPhaseProfiles() }
+
+// MultiPhaseWorkloadNames returns the builtin workload names in
+// definition order.
+func MultiPhaseWorkloadNames() []string { return workload.MultiPhaseNames() }
+
+// MultiPhaseWorkloadByName returns the builtin workload with the given
+// name.
+func MultiPhaseWorkloadByName(name string) (MultiPhaseWorkload, error) {
+	return workload.MultiPhaseByName(name)
+}
+
+// ---- Phase-aware DVFS scheduling ----
+
+// DVFSPolicy selects the dual-mode scheduling policy.
+type DVFSPolicy = dvfs.PolicyKind
+
+// Scheduling policies.
+const (
+	DVFSStaticHigh = dvfs.PolicyStaticHigh
+	DVFSStaticLow  = dvfs.PolicyStaticLow
+	DVFSOracle     = dvfs.PolicyOracle
+	DVFSReactive   = dvfs.PolicyReactive
+	DVFSInterval   = dvfs.PolicyInterval
+)
+
+// DVFSPolicies returns the schedulable policies in presentation order.
+func DVFSPolicies() []DVFSPolicy { return dvfs.Policies() }
+
+// ParseDVFSPolicy converts a CLI-style policy name to a DVFSPolicy.
+func ParseDVFSPolicy(s string) (DVFSPolicy, error) { return dvfs.ParsePolicy(s) }
+
+// DVFSConfig describes one scheduled dual-mode run: the multi-phase
+// workload, the low-voltage mitigation scheme, the policy and the switch
+// economics.
+type DVFSConfig = dvfs.Config
+
+// DVFSResult is one scheduled run's accounting: per-phase time/energy,
+// switch counts and the (performance, energy) point the run landed on.
+type DVFSResult = dvfs.Result
+
+// RunDVFS executes one scheduled dual-mode run. The result is a pure
+// function of the config: byte-identical across runs and machines.
+func RunDVFS(cfg DVFSConfig) (DVFSResult, error) { return dvfs.Run(cfg) }
+
+// DVFSPoint is one explored (workload, scheme, policy) operating point,
+// with Pareto-frontier membership marked.
+type DVFSPoint = dvfs.Point
+
+// DVFSExploreSpec is a (workload × scheme × policy) grid for the Pareto
+// explorer.
+type DVFSExploreSpec = dvfs.ExploreSpec
+
+// DVFSExploreResult carries every explored point plus the runs behind
+// them.
+type DVFSExploreResult = dvfs.ExploreResult
+
+// ExploreDVFS runs the explorer grid and marks each workload's Pareto
+// frontier over (performance, energy per instruction). Deterministic at
+// every worker count.
+func ExploreDVFS(spec DVFSExploreSpec) (*DVFSExploreResult, error) { return dvfs.Explore(spec) }
+
+// DVFSFrontier returns the Pareto-optimal subset of points (per
+// workload, maximizing performance and minimizing energy per
+// instruction).
+func DVFSFrontier(points []DVFSPoint) []DVFSPoint { return dvfs.Frontier(points) }
 
 // ---- Experiment drivers (Figs. 8-12) ----
 
