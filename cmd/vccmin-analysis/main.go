@@ -8,16 +8,29 @@
 //	vccmin-analysis              # everything
 //	vccmin-analysis -fig 5       # one figure (1, 3, 4, 5, 6, 7, cluster)
 //	vccmin-analysis -table 1     # Table I only
+//
+// -json switches to the engine-task form: the capacity analysis, the
+// operating point and the Table I overheads at -pfail run as one batch
+// through the same task types the server's endpoints and POST /v1/batch
+// execute, printed as the batch document (byte-identical values to the
+// server's, replayable from a shared -result-cache directory):
+//
+//	vccmin-analysis -json -pfail 1e-3
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"vccmin/internal/clirun"
+	"vccmin/internal/engine"
 	"vccmin/internal/experiments"
 	"vccmin/internal/power"
 	"vccmin/internal/prob"
+	"vccmin/internal/tasks"
 	"vccmin/internal/textplot"
 )
 
@@ -25,7 +38,24 @@ func main() {
 	fig := flag.String("fig", "", "figure to print (1, 3, 4, 5, 6, 7, cluster); empty = all")
 	table := flag.String("table", "", "table to print (1); empty = all")
 	points := flag.Int("points", 100, "samples per analytic curve")
+	jsonOut := flag.Bool("json", false, "emit the pfail-point analysis as an engine-task batch document")
+	pfail := flag.Float64("pfail", 0.001, "per-cell failure probability for -json mode")
+	trials := flag.Int("trials", 0, "-json mode: Monte Carlo cross-check trials on the capacity task")
+	pretty := flag.Bool("pretty", true, "-json mode: indent the JSON")
+	cacheDir := clirun.ResultCacheFlag()
+	version := clirun.VersionFlag()
 	flag.Parse()
+	if clirun.HandleVersion(version) {
+		return
+	}
+
+	if *jsonOut {
+		if err := printJSONBatch(*pfail, *trials, *cacheDir, *pretty); err != nil {
+			fmt.Fprintln(os.Stderr, "vccmin-analysis:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := *fig == "" && *table == ""
 	if all || *table == "1" {
@@ -57,11 +87,54 @@ func header(title string) {
 	fmt.Printf("\n==== %s ====\n\n", title)
 }
 
+// printJSONBatch runs the pfail-point analysis as one heterogeneous
+// batch through the engine — the exact document POST /v1/batch answers
+// for the same three requests.
+func printJSONBatch(pfail float64, trials int, cacheDir string, pretty bool) error {
+	eng, err := clirun.NewEngine(cacheDir)
+	if err != nil {
+		return err
+	}
+	capacity, err := json.Marshal(tasks.CapacityRequest{Pfail: &pfail, Trials: trials})
+	if err != nil {
+		return err
+	}
+	op, err := json.Marshal(tasks.OperatingPointRequest{Pfail: &pfail})
+	if err != nil {
+		return err
+	}
+	results := engine.RunBatch(context.Background(), eng, []engine.BatchItem{
+		{Kind: tasks.KindCapacity, Params: capacity},
+		{Kind: tasks.KindOperatingPoint, Params: op},
+		{Kind: tasks.KindOverhead},
+	}, 0)
+	for _, r := range results {
+		if r.Error != "" {
+			return fmt.Errorf("%s: %s", r.Kind, r.Error)
+		}
+	}
+	doc, err := json.Marshal(struct {
+		Results []engine.BatchResult `json:"results"`
+	}{results})
+	if err != nil {
+		return err
+	}
+	return clirun.WriteOutput("", doc, pretty)
+}
+
+// printTableI renders the overhead task's rows — the same typed result
+// GET /v1/overhead serves.
 func printTableI() {
 	header("Table I: overhead comparison (transistors)")
+	v, err := tasks.OverheadTask{}.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vccmin-analysis:", err)
+		os.Exit(1)
+	}
+	resp := v.(tasks.OverheadResponse)
 	fmt.Printf("%-24s %12s %12s %12s %10s %10s\n",
 		"Scheme", "Tag", "Disable", "Victim$", "Align.net", "Total")
-	for _, r := range experiments.TableI() {
+	for _, r := range resp.Rows {
 		align := "no"
 		if r.AlignmentNetwork {
 			align = "yes"

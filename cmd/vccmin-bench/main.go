@@ -4,7 +4,8 @@
 //
 // Defaults match the CI smoke gate: the stable substrate benchmarks (the
 // fault-map generators, cache access, workload generation, the pipeline
-// step and the Eq. 1 urn model) at -benchtime 100ms, compared against the
+// step, the Eq. 1 urn model, the dvfs schedulers and the engine result
+// store's cold/warm/disk paths) at -benchtime 100ms, compared against the
 // highest-numbered BENCH_<n>.json in -dir at a 25% threshold.
 //
 //	vccmin-bench                         # run smoke set, compare to latest baseline
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"vccmin/internal/benchreg"
+	"vccmin/internal/clirun"
 )
 
 // smokeBench selects the CI gate's benchmark set: single-threaded,
@@ -35,7 +37,7 @@ import (
 // count, so gating it against a baseline from a different machine would
 // measure the runner, not the code — run it via `-bench . -pkg ./...`
 // when recording full snapshots).
-const smokeBench = "^(BenchmarkFaultMapGeneration|BenchmarkGenerateDense|BenchmarkGenerateMapSparse|BenchmarkGenerateMapSparseReuse|BenchmarkMeasuredCapacityDenseSerial|BenchmarkCacheAccess|BenchmarkWorkloadGeneration|BenchmarkPipelineThroughput|BenchmarkEq1UrnModel|BenchmarkFig1VoltageScaling|BenchmarkDVFSOracleSchedule|BenchmarkDVFSReactiveSchedule)$"
+const smokeBench = "^(BenchmarkFaultMapGeneration|BenchmarkGenerateDense|BenchmarkGenerateMapSparse|BenchmarkGenerateMapSparseReuse|BenchmarkMeasuredCapacityDenseSerial|BenchmarkCacheAccess|BenchmarkWorkloadGeneration|BenchmarkPipelineThroughput|BenchmarkEq1UrnModel|BenchmarkFig1VoltageScaling|BenchmarkDVFSOracleSchedule|BenchmarkDVFSReactiveSchedule|BenchmarkEngineColdCompute|BenchmarkEngineWarmMemory|BenchmarkEngineDiskHit)$"
 
 // config carries the parsed flag set; one field per flag.
 type config struct {
@@ -54,7 +56,7 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.pkgs, "pkg", ".,./internal/faults,./internal/dvfs", "comma-separated packages to benchmark")
+	flag.StringVar(&cfg.pkgs, "pkg", ".,./internal/faults,./internal/dvfs,./internal/engine", "comma-separated packages to benchmark")
 	flag.StringVar(&cfg.bench, "bench", smokeBench, "benchmark regex passed to go test -bench")
 	flag.StringVar(&cfg.benchtime, "benchtime", "100ms", "per-benchmark budget passed to go test -benchtime")
 	flag.IntVar(&cfg.count, "count", 1, "go test -count (repeats are averaged per benchmark)")
@@ -65,7 +67,11 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "", "record the run to this exact path (independent of -write numbering)")
 	flag.StringVar(&cfg.input, "input", "", "parse this `go test -bench` output file instead of running benchmarks")
 	flag.BoolVar(&cfg.gate, "gate", true, "exit non-zero when a benchmark regresses past -threshold")
+	version := clirun.VersionFlag()
 	flag.Parse()
+	if clirun.HandleVersion(version) {
+		return
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "vccmin-bench:", err)
 		os.Exit(1)

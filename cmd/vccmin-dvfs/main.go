@@ -5,8 +5,12 @@
 // policy) operating point with its Pareto frontier over (performance,
 // energy per instruction).
 //
-// Every run is seeded and deterministic: the same flags produce
-// byte-identical JSON, which is what the golden fixtures pin.
+// The command is a thin adapter over the engine task layer: it
+// constructs the same dvfs-explore task the server's GET /v1/dvfs and
+// POST /v1/batch construct, so the emitted document is byte-identical
+// (modulo -pretty whitespace) to the server's for the same parameters —
+// and with -result-cache pointed at a directory, repeated invocations
+// replay the stored bytes instead of re-simulating.
 //
 // Usage:
 //
@@ -14,6 +18,7 @@
 //	vccmin-dvfs -policies oracle,reactive          # restrict the policy axis
 //	vccmin-dvfs -policy oracle                     # -policy is an alias
 //	vccmin-dvfs -workloads bursty-server -schemes block -out frontier.json
+//	vccmin-dvfs -result-cache ~/.cache/vccmin      # persistent cross-run result reuse
 //	vccmin-dvfs -list                              # show workloads and policies
 //	vccmin-dvfs -runs                              # include full per-run phase accounting
 //
@@ -23,15 +28,16 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"vccmin/internal/cliflag"
+	"vccmin/internal/clirun"
 	"vccmin/internal/dvfs"
-	"vccmin/internal/sim"
+	"vccmin/internal/tasks"
 	"vccmin/internal/workload"
 )
 
@@ -49,13 +55,19 @@ func main() {
 		threshold = flag.Float64("ipc-threshold", 0, "reactive policy's high-mode IPC threshold (0 = default 0.1)")
 		workers   = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS); never changes results")
 		out       = flag.String("out", "", "output JSON file (empty = stdout)")
+		pretty    = flag.Bool("pretty", true, "indent the JSON (false emits the server's exact compact bytes)")
 		runs      = flag.Bool("runs", false, "include the full per-run phase accounting in the output")
 		list      = flag.Bool("list", false, "list builtin workloads and policies, then exit")
+		cacheDir  = clirun.ResultCacheFlag()
+		version   = clirun.VersionFlag()
 	)
 	// -policy is an alias for -policies, matching the singular-axis habit
 	// of one-policy invocations (vccmin-dvfs -policy oracle).
 	flag.StringVar(policies, "policy", "", "alias for -policies")
 	flag.Parse()
+	if clirun.HandleVersion(version) {
+		return
+	}
 
 	if *list {
 		fmt.Println("multi-phase workloads:")
@@ -73,76 +85,48 @@ func main() {
 		return
 	}
 
-	spec := dvfs.ExploreSpec{
-		Pfail:   *pfail,
-		Seed:    *seed,
-		Scale:   *scale,
-		Workers: *workers,
-	}
-	if *workloads != "" {
-		spec.Workloads = cliflag.Split(*workloads)
-	}
-	var err error
-	if spec.Schemes, err = cliflag.ParseList(*schemes, sim.ParseScheme); err != nil {
-		fatal(err)
-	}
-	if *policies != "" {
-		if spec.Policies, err = cliflag.ParseList(*policies, dvfs.ParsePolicy); err != nil {
-			fatal(err)
-		}
-	}
-	if spec.Victim, err = sim.ParseVictim(*victim); err != nil {
-		fatal(err)
-	}
-	// Switch-economics knobs go through hashed spec fields, so the
+	// Construct the same task the server constructs for GET /v1/dvfs:
+	// the switch-economics knobs flow through hashed task fields, so the
 	// emitted "hash" really does identify the output bytes.
-	spec.SwitchPenalty = *penalty
-	spec.Interval = *interval
-	spec.IPCThreshold = *threshold
-
-	res, err := dvfs.Explore(spec)
+	req := tasks.DVFSExploreRequest{
+		Workloads:     cliflag.Split(*workloads),
+		Schemes:       cliflag.Split(*schemes),
+		Policies:      cliflag.Split(*policies),
+		Victim:        *victim,
+		Pfail:         pfail,
+		Seed:          *seed,
+		Scale:         *scale,
+		SwitchPenalty: *penalty,
+		Interval:      *interval,
+		IPCThreshold:  *threshold,
+		IncludeRuns:   *runs,
+	}
+	task, err := tasks.NewDVFSExploreTask(req)
 	if err != nil {
-		fatal(err)
+		clirun.Fatal("vccmin-dvfs", err)
 	}
-
-	payload := output{
-		Hash:     spec.CanonicalHash(),
-		Pfail:    *pfail,
-		Seed:     *seed,
-		Points:   res.Points,
-		Frontier: res.ParetoPoints(),
+	// Workers only changes scheduling — it lives on the spec, outside
+	// the request, and outside the canonical hash.
+	task.Spec.Workers = *workers
+	if task.Spec.Workers <= 0 {
+		task.Spec.Workers = runtime.GOMAXPROCS(0)
 	}
-	if *runs {
-		payload.Runs = res.Runs
-	}
-	b, err := json.MarshalIndent(payload, "", "  ")
+	eng, err := clirun.NewEngine(*cacheDir)
 	if err != nil {
-		fatal(err)
+		clirun.Fatal("vccmin-dvfs", err)
 	}
-	b = append(b, '\n')
-	if *out == "" {
-		os.Stdout.Write(b)
-	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
-		fatal(err)
+	res, err := clirun.RunTask(eng, "vccmin-dvfs", task)
+	if err != nil {
+		clirun.Fatal("vccmin-dvfs", err)
+	}
+	if err := clirun.WriteOutput(*out, res.Bytes, *pretty); err != nil {
+		clirun.Fatal("vccmin-dvfs", err)
 	}
 
+	var resp tasks.DVFSResponse
+	if err := res.Decode(&resp); err != nil {
+		clirun.Fatal("vccmin-dvfs", err)
+	}
 	fmt.Fprintf(os.Stderr, "dvfs: %d operating points, %d on the frontier\n",
-		len(res.Points), len(payload.Frontier))
-}
-
-// output is the CLI's JSON shape: the canonical hash first (so a reader
-// can key caches the way /v1/dvfs does), then points and frontier in
-// grid order.
-type output struct {
-	Hash     string        `json:"hash"`
-	Pfail    float64       `json:"pfail"`
-	Seed     int64         `json:"seed"`
-	Points   []dvfs.Point  `json:"points"`
-	Frontier []dvfs.Point  `json:"frontier"`
-	Runs     []dvfs.Result `json:"runs,omitempty"`
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vccmin-dvfs:", err)
-	os.Exit(1)
+		len(resp.Points), len(resp.Frontier))
 }

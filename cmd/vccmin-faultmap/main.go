@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 
+	"vccmin/internal/clirun"
 	"vccmin/internal/core"
 	"vccmin/internal/faults"
 	"vccmin/internal/geom"
@@ -33,7 +34,11 @@ func main() {
 	cluster := flag.Int("cluster", 1, "fault cluster size in cells (1 = uniform)")
 	dump := flag.String("dump", "", "write the drawn map to this file (JSON)")
 	load := flag.String("load", "", "inspect a map from this file instead of drawing one")
+	version := clirun.VersionFlag()
 	flag.Parse()
+	if clirun.HandleVersion(version) {
+		return
+	}
 
 	g, err := geom.New(*size, *ways, *block)
 	if err != nil {

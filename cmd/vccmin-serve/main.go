@@ -31,31 +31,44 @@ import (
 	"syscall"
 	"time"
 
+	"vccmin/internal/buildinfo"
+	"vccmin/internal/clirun"
 	"vccmin/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8780", "listen address")
-		data    = flag.String("data", "vccmin-serve-data", "directory for sweep-job specs and row checkpoints")
-		workers = flag.Int("workers", 2, "concurrently running sweep jobs")
-		cache   = flag.Int("cache", 512, "LRU entries for synchronous-endpoint responses")
-		maxGrid = flag.Int("max-grid", 4096, "largest accepted sweep grid (cells)")
-		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+		addr       = flag.String("addr", ":8780", "listen address")
+		data       = flag.String("data", "vccmin-serve-data", "directory for sweep-job specs, row checkpoints and the engine result store")
+		workers    = flag.Int("workers", 2, "concurrently running sweep jobs")
+		cache      = flag.Int("cache", 512, "in-memory result-tier entries for synchronous endpoints")
+		maxGrid    = flag.Int("max-grid", 4096, "largest accepted sweep grid (cells)")
+		maxBatch   = flag.Int("max-batch", 64, "largest accepted POST /v1/batch request (items)")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+		hdrTimeout = flag.Duration("read-header-timeout", 10*time.Second, "slowloris guard: how long a connection may take to send its header")
+		maxHeader  = flag.Int("max-header-bytes", 1<<20, "largest accepted request-header block")
+		version    = clirun.VersionFlag()
 	)
 	flag.Parse()
+	if clirun.HandleVersion(version) {
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "vccmin-serve: listening on %s, data in %s\n", *addr, *data)
+	fmt.Fprintf(os.Stderr, "vccmin-serve: %s listening on %s, data in %s\n",
+		buildinfo.String(), *addr, *data)
 	err := service.Serve(ctx, service.Config{
-		Addr:         *addr,
-		DataDir:      *data,
-		Workers:      *workers,
-		CacheEntries: *cache,
-		MaxGridCells: *maxGrid,
-		DrainTimeout: *drain,
+		Addr:              *addr,
+		DataDir:           *data,
+		Workers:           *workers,
+		CacheEntries:      *cache,
+		MaxGridCells:      *maxGrid,
+		MaxBatchItems:     *maxBatch,
+		DrainTimeout:      *drain,
+		ReadHeaderTimeout: *hdrTimeout,
+		MaxHeaderBytes:    *maxHeader,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vccmin-serve:", err)

@@ -9,6 +9,13 @@
 //	vccmin-sim -fig 8               # one figure
 //	vccmin-sim -pairs 50 -instructions 1000000   # paper-scale Monte Carlo
 //	vccmin-sim -benchmarks crafty,gzip,mcf
+//
+// Single-run mode constructs the same sim task the server's POST
+// /v1/sim constructs and prints its JSON document — byte-identical
+// (modulo -pretty whitespace) across CLI, server and batch, and
+// replayable from a shared -result-cache directory:
+//
+//	vccmin-sim -benchmark crafty -scheme block -pfail 1e-3
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 	"strings"
 	"time"
 
+	"vccmin/internal/clirun"
 	"vccmin/internal/experiments"
+	"vccmin/internal/tasks"
 	"vccmin/internal/textplot"
 )
 
@@ -30,7 +39,32 @@ func main() {
 	pfail := flag.Float64("pfail", 0.001, "per-cell failure probability below Vcc-min")
 	seed := flag.Int64("seed", 1, "base random seed")
 	plot := flag.Bool("plot", true, "render terminal plots in addition to tables")
+	benchmark := flag.String("benchmark", "", "single-run mode: simulate one benchmark and print JSON")
+	mode := flag.String("mode", "low", "single-run mode: voltage domain (low,high)")
+	scheme := flag.String("scheme", "", "single-run mode: mitigation scheme (baseline,word,block,inc-word,bitfix)")
+	victim := flag.String("victim", "", "single-run mode: victim cache (none,10t,6t)")
+	geometry := flag.String("geom", "", "single-run mode: L1 geometry SIZExWAYSxBLOCK (empty = reference)")
+	pretty := flag.Bool("pretty", true, "single-run mode: indent the JSON")
+	cacheDir := clirun.ResultCacheFlag()
+	version := clirun.VersionFlag()
 	flag.Parse()
+	if clirun.HandleVersion(version) {
+		return
+	}
+
+	if *benchmark != "" {
+		runSingle(tasks.SimRequest{
+			Benchmark:    *benchmark,
+			Mode:         *mode,
+			Scheme:       *scheme,
+			Victim:       *victim,
+			Geometry:     *geometry,
+			Pfail:        *pfail,
+			Seed:         *seed,
+			Instructions: *instructions,
+		}, *cacheDir, *pretty)
+		return
+	}
 
 	p := experiments.DefaultSimParams()
 	p.FaultPairs = *pairs
@@ -85,6 +119,26 @@ func main() {
 		if want["12"] {
 			printFigure(hv.Fig12(), *plot)
 		}
+	}
+}
+
+// runSingle is the engine-task path: one simulation, the same task
+// identity the server computes for POST /v1/sim.
+func runSingle(req tasks.SimRequest, cacheDir string, pretty bool) {
+	task, err := tasks.NewSimTask(req)
+	if err != nil {
+		clirun.Fatal("vccmin-sim", err)
+	}
+	eng, err := clirun.NewEngine(cacheDir)
+	if err != nil {
+		clirun.Fatal("vccmin-sim", err)
+	}
+	res, err := clirun.RunTask(eng, "vccmin-sim", task)
+	if err != nil {
+		clirun.Fatal("vccmin-sim", err)
+	}
+	if err := clirun.WriteOutput("", res.Bytes, pretty); err != nil {
+		clirun.Fatal("vccmin-sim", err)
 	}
 }
 

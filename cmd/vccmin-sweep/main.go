@@ -15,25 +15,40 @@
 //	vccmin-sweep -pfail 1e-4:1e-3:5 -schemes block,word -shards 4 -shard 2 -out cells.jsonl
 //	vccmin-sweep -resume -out cells.jsonl            # finish an interrupted run
 //	vccmin-sweep -summarize cells.jsonl              # aggregate an existing file
+//	vccmin-sweep -result-cache ~/.cache/vccmin ...   # engine path: repeats replay from the store
 //
 // Axis flags take comma-separated values; -pfail also accepts lo:hi:n for
 // n log-spaced points.
+//
+// With -result-cache the run goes through the engine task layer (the
+// same sweep task the server's POST /v1/batch executes): the whole
+// result is content-addressed under the spec's canonical hash, so a
+// repeated invocation — or one that another entrypoint already computed
+// over the same store — writes identical rows without re-simulating.
+// The streaming default path keeps its incremental checkpoint semantics
+// for runs too large to hold in memory; both paths emit byte-identical
+// rows.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"vccmin/internal/cliflag"
+	"vccmin/internal/clirun"
 	"vccmin/internal/dvfs"
 	"vccmin/internal/geom"
 	"vccmin/internal/prob"
 	"vccmin/internal/sim"
 	"vccmin/internal/sweep"
+	"vccmin/internal/tasks"
 )
 
 func main() {
@@ -56,8 +71,13 @@ func main() {
 		resume     = flag.Bool("resume", false, "skip cells already present in -out")
 		summary    = flag.Bool("summary", true, "print per-axis summaries after the run")
 		summarize  = flag.String("summarize", "", "only aggregate an existing JSONL file and exit")
+		cacheDir   = clirun.ResultCacheFlag()
+		version    = clirun.VersionFlag()
 	)
 	flag.Parse()
+	if clirun.HandleVersion(version) {
+		return
+	}
 
 	if *summarize != "" {
 		if err := summarizeFile(*summarize); err != nil {
@@ -106,6 +126,13 @@ func main() {
 	switch {
 	case *resume && *out == "":
 		fatal(fmt.Errorf("-resume needs -out"))
+	case *cacheDir != "" && *resume:
+		fatal(fmt.Errorf("-result-cache and -resume are exclusive: the engine store already skips completed work"))
+	case *cacheDir != "":
+		if err := runViaEngine(spec, *cacheDir, *out, *summary); err != nil {
+			fatal(err)
+		}
+		return
 	case *resume:
 		// ResumeFile loads the checkpoint, truncates any torn final line
 		// and appends the missing cells on the valid prefix's boundary.
@@ -137,6 +164,59 @@ func main() {
 	if *summary && len(res.Summary) > 0 {
 		printSummary(res.Summary)
 	}
+}
+
+// runViaEngine executes the sweep as the same engine task the server's
+// batch endpoint runs: the whole result is content-addressed by the
+// spec's canonical hash in the store under cacheDir, so a repeated
+// invocation replays stored bytes instead of re-simulating. Rows are
+// emitted as the same JSONL stream the direct path writes.
+func runViaEngine(spec sweep.Spec, cacheDir, out string, summary bool) error {
+	spec = spec.WithDefaults()
+	if err := spec.Check(); err != nil {
+		return err
+	}
+	task := tasks.SweepRunTask{Spec: spec}
+	eng, err := clirun.NewEngine(cacheDir)
+	if err != nil {
+		return err
+	}
+	res, err := clirun.RunTask(eng, "vccmin-sweep", task)
+	if err != nil {
+		return err
+	}
+	var resp tasks.SweepRunResponse
+	if err := res.Decode(&resp); err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	for _, row := range resp.Rows {
+		b, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: grid %d cells, shard %d/%d owns %d: computed %d (hash %s, source %s)\n",
+		resp.TotalCells, spec.ShardIndex, spec.ShardCount, resp.ShardCells, resp.Computed, resp.Hash, res.Source)
+	if summary && len(resp.Summary) > 0 {
+		printSummary(resp.Summary)
+	}
+	return nil
 }
 
 // parsePfails parses "1e-4,5e-4" or "lo:hi:n" (n log-spaced points

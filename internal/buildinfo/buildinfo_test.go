@@ -1,0 +1,58 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// stub installs a fake build-info reader for the duration of the test.
+func stub(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestStringWithVCSStamp(t *testing.T) {
+	stub(t, &debug.BuildInfo{
+		Main: debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	s := String()
+	for _, want := range []string{"vccmin v1.2.3", "0123456789ab+dirty", "go1."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abc") {
+		t.Errorf("revision not truncated to 12 chars: %q", s)
+	}
+}
+
+func TestWithoutBuildInfo(t *testing.T) {
+	stub(t, nil, false)
+	if v := Version(); v != "unknown" {
+		t.Errorf("Version() = %q, want unknown", v)
+	}
+	if _, _, ok := Revision(); ok {
+		t.Error("Revision() ok without build info")
+	}
+	if s := String(); !strings.HasPrefix(s, "vccmin unknown") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRealBuildInfo(t *testing.T) {
+	// Under `go test` a build info always exists; the exact values vary,
+	// so just require the composed line to be well-formed.
+	if !strings.HasPrefix(String(), "vccmin ") {
+		t.Errorf("String() = %q", String())
+	}
+	if Version() == "" {
+		t.Error("empty version")
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// benchValue is a result payload sized like a typical sync-endpoint
+// response, so marshal/store costs are representative.
+type benchValue struct {
+	Pfail    float64   `json:"pfail"`
+	Name     string    `json:"name"`
+	Series   []float64 `json:"series"`
+	Frontier []int     `json:"frontier"`
+}
+
+type benchTask struct {
+	hash string
+}
+
+func (t benchTask) Kind() string          { return "bench" }
+func (t benchTask) CanonicalHash() string { return t.hash }
+func (t benchTask) Run(context.Context) (any, error) {
+	v := benchValue{Pfail: 0.001, Name: t.hash, Series: make([]float64, 32), Frontier: []int{1, 2, 3}}
+	for i := range v.Series {
+		v.Series[i] = float64(i) * 0.25
+	}
+	return v, nil
+}
+
+// BenchmarkEngineColdCompute measures a store miss: every iteration is
+// a fresh identity, so the engine computes, marshals and stores.
+func BenchmarkEngineColdCompute(b *testing.B) {
+	e, err := New(Options{MemEntries: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Do(ctx, benchTask{hash: fmt.Sprintf("cold-%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWarmMemory measures the repeated-query fast path: the
+// same identity every iteration, replayed from the memory tier.
+func BenchmarkEngineWarmMemory(b *testing.B) {
+	e, err := New(Options{MemEntries: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	task := benchTask{hash: "warm"}
+	if _, err := e.Do(ctx, task); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Do(ctx, task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Source != SourceMemory {
+			b.Fatalf("source %q, want memory hit", r.Source)
+		}
+	}
+}
+
+// BenchmarkEngineDiskHit measures the restart path: a one-entry memory
+// tier and two alternating identities force every Do through the
+// content-addressed disk store.
+func BenchmarkEngineDiskHit(b *testing.B) {
+	e, err := New(Options{MemEntries: 1, Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	tasks := []benchTask{{hash: "disk-a"}, {hash: "disk-b"}}
+	for _, t := range tasks {
+		if _, err := e.Do(ctx, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Do(ctx, tasks[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Source == SourceCompute {
+			b.Fatal("disk-hit bench recomputed")
+		}
+	}
+}

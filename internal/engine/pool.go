@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is the bounded worker pool the async layers share (folded in
+// from the service's job manager): a fixed number of workers draining a
+// buffered queue of funcs, with drain/close lifecycle and the counters
+// the /v1/stats job section reports.
+type Pool struct {
+	queue  chan func(context.Context)
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	queued   atomic.Int64
+	running  atomic.Int64
+	draining atomic.Bool
+}
+
+// Pool submission errors.
+var (
+	// ErrPoolDraining rejects submissions after Drain began.
+	ErrPoolDraining = errors.New("engine: pool draining, not accepting work")
+	// ErrPoolFull rejects submissions when the backlog is at capacity.
+	ErrPoolFull = errors.New("engine: pool queue full")
+)
+
+// NewPool starts workers goroutines over a queue of backlog capacity.
+func NewPool(workers, backlog int) *Pool {
+	if workers <= 0 {
+		workers = 2
+	}
+	if backlog <= 0 {
+		backlog = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{queue: make(chan func(context.Context), backlog), ctx: ctx, cancel: cancel}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case fn := <-p.queue:
+			// running rises before queued falls: Drain polls for both
+			// counters at zero, and the opposite order opens a window
+			// where a mid-handoff item looks already drained.
+			p.running.Add(1)
+			p.queued.Add(-1)
+			fn(p.ctx)
+			p.running.Add(-1)
+		}
+	}
+}
+
+// Submit enqueues fn for execution by a worker. The fn receives the
+// pool's context, which Close cancels.
+func (p *Pool) Submit(fn func(context.Context)) error {
+	if p.draining.Load() {
+		return ErrPoolDraining
+	}
+	select {
+	case p.queue <- fn:
+		p.queued.Add(1)
+		return nil
+	default:
+		return ErrPoolFull
+	}
+}
+
+// Draining reports whether Drain has begun (new work is rejected).
+func (p *Pool) Draining() bool { return p.draining.Load() }
+
+// Queued returns the number of submitted items not yet picked up.
+func (p *Pool) Queued() int64 { return p.queued.Load() }
+
+// Running returns the number of items currently executing.
+func (p *Pool) Running() int64 { return p.running.Load() }
+
+// Drain stops accepting new work and waits for the queue to empty and
+// the running items to finish, or for ctx to expire — the graceful half
+// of shutdown. Call Close afterwards either way.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.draining.Store(true)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if p.queued.Load() == 0 && p.running.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close cancels the pool context (running items observe it and exit)
+// and waits for the workers to return.
+func (p *Pool) Close() {
+	p.cancel()
+	p.wg.Wait()
+}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Decoder turns a kind's raw JSON parameters into a runnable Task.
+// Implementations should reject unknown fields so batch requests fail
+// loudly instead of silently dropping a mistyped parameter.
+type Decoder func(params json.RawMessage) (Task, error)
+
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]Decoder
+}{m: make(map[string]Decoder)}
+
+// RegisterKind installs the decoder for one task kind. Kinds are
+// registered once, at init time, by the tasks package; a duplicate
+// registration is a programming error and panics.
+func RegisterKind(kind string, dec Decoder) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, ok := registry.m[kind]; ok {
+		panic(fmt.Sprintf("engine: task kind %q registered twice", kind))
+	}
+	registry.m[kind] = dec
+}
+
+// DecodeTask builds a Task for a registered kind from raw parameters.
+func DecodeTask(kind string, params json.RawMessage) (Task, error) {
+	registry.mu.RLock()
+	dec, ok := registry.m[kind]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown task kind %q (known: %v)", kind, Kinds())
+	}
+	if len(params) == 0 {
+		params = json.RawMessage("{}")
+	}
+	return dec(params)
+}
+
+// Kinds lists the registered task kinds, sorted.
+func Kinds() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for k := range registry.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,130 +1,79 @@
 package service
 
 import (
-	"fmt"
 	"net/http"
 
 	"vccmin/internal/cliflag"
-	"vccmin/internal/dvfs"
-	"vccmin/internal/sim"
-	"vccmin/internal/workload"
+	"vccmin/internal/tasks"
 )
 
 // maxDVFSCells bounds the (workload × scheme × policy) grid a single
-// /v1/dvfs request may ask for; each cell is a full scheduled run.
+// /v1/dvfs or batch request may ask for; each cell is a full scheduled
+// run.
 const maxDVFSCells = 64
 
 // maxDVFSScale bounds the per-workload instruction budget a request may
 // demand.
 const maxDVFSScale = 500_000
 
-// DVFSResponse is the GET /v1/dvfs payload: every explored operating
-// point (frontier membership marked) plus the frontier subset, in grid
-// order.
-type DVFSResponse struct {
-	Hash      string       `json:"hash"` // ExploreSpec.CanonicalHash — the cache identity
-	Pfail     float64      `json:"pfail"`
-	Seed      int64        `json:"seed"`
-	Scale     int          `json:"scale,omitempty"`
-	Workloads []string     `json:"workloads"`
-	Points    []dvfs.Point `json:"points"`
-	Frontier  []dvfs.Point `json:"frontier"`
-}
-
-// parseDVFSSpec builds the explorer spec from query parameters. All axes
-// are comma-separated lists; empty values take the explorer defaults.
-func parseDVFSSpec(r *http.Request) (dvfs.ExploreSpec, error) {
-	var spec dvfs.ExploreSpec
+// parseDVFSRequest builds the explorer task request from query
+// parameters. All axes are comma-separated lists; empty values take the
+// explorer defaults. Axis values are validated by the task constructor.
+func parseDVFSRequest(r *http.Request) (tasks.DVFSExploreRequest, error) {
+	var req tasks.DVFSExploreRequest
 	q := r.URL.Query()
-	var err error
-	if v := q.Get("workloads"); v != "" {
-		spec.Workloads, err = cliflag.ParseList(v, func(w string) (string, error) {
-			_, err := workload.MultiPhaseByName(w)
-			return w, err
-		})
-		if err != nil {
-			return spec, err
-		}
-	}
-	if v := q.Get("schemes"); v != "" {
-		if spec.Schemes, err = cliflag.ParseList(v, sim.ParseScheme); err != nil {
-			return spec, err
-		}
-	}
-	if v := q.Get("policies"); v != "" {
-		spec.Policies, err = cliflag.ParseList(v, func(s string) (dvfs.PolicyKind, error) {
-			p, err := dvfs.ParsePolicy(s)
-			if err == nil && p == dvfs.PolicyNone {
-				return 0, fmt.Errorf("policy %q is not schedulable", s)
-			}
-			return p, err
-		})
-		if err != nil {
-			return spec, err
-		}
-	}
-	if v := q.Get("victim"); v != "" {
-		if spec.Victim, err = sim.ParseVictim(v); err != nil {
-			return spec, err
-		}
-	}
+	req.Workloads = cliflag.Split(q.Get("workloads"))
+	req.Schemes = cliflag.Split(q.Get("schemes"))
+	req.Policies = cliflag.Split(q.Get("policies"))
+	req.Victim = q.Get("victim")
 	pfail, err := queryFloat(r, "pfail", 0.001)
 	if err != nil {
-		return spec, err
+		return req, err
 	}
-	if pfail < 0 || pfail >= 1 {
-		return spec, fmt.Errorf("pfail %v out of [0,1)", pfail)
-	}
-	spec.Pfail = pfail
+	req.Pfail = &pfail
 	seed, err := queryInt(r, "seed", 1)
 	if err != nil {
-		return spec, err
+		return req, err
 	}
-	spec.Seed = int64(seed)
-	scale, err := queryInt(r, "scale", 20_000)
+	req.Seed = int64(seed)
+	if req.Scale, err = queryInt(r, "scale", 20_000); err != nil {
+		return req, err
+	}
+	runs, err := queryInt(r, "runs", 0)
 	if err != nil {
-		return spec, err
+		return req, err
 	}
-	if scale < 0 || scale > maxDVFSScale {
-		return spec, fmt.Errorf("scale %d out of [0,%d]", scale, maxDVFSScale)
-	}
-	spec.Scale = scale
-	return spec, nil
+	req.IncludeRuns = runs != 0
+	return req, nil
 }
 
 // handleDVFS explores the requested (workload × scheme × policy) grid
-// and serves the Pareto view. Like the sweeps, the response is a pure
-// function of the request, keyed in the LRU by the explorer spec's
-// canonical hash — a repeated query replays identical bytes (X-Cache:
-// hit) instead of re-simulating.
+// through the engine and serves the Pareto view. Like every sync
+// endpoint, the response is a pure function of the request, keyed by
+// the explorer spec's canonical hash — a repeated query replays
+// identical bytes (X-Cache: hit, or disk after a restart) instead of
+// re-simulating.
 func (s *Server) handleDVFS(w http.ResponseWriter, r *http.Request) {
-	spec, err := parseDVFSSpec(r)
+	req, err := parseDVFSRequest(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	// Gate the grid before any simulation runs: defaulting the spec
-	// first means the cell arithmetic can never drift from what Explore
-	// actually evaluates.
-	spec = spec.WithDefaults()
-	if cells := len(spec.Workloads) * len(spec.Schemes) * len(spec.Policies); cells > maxDVFSCells {
+	if req.Scale < 0 || req.Scale > maxDVFSScale {
+		writeErr(w, http.StatusBadRequest, "scale %d out of [0,%d]", req.Scale, maxDVFSScale)
+		return
+	}
+	t, err := tasks.NewDVFSExploreTask(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	// Gate the grid before any simulation runs; the task defaults its
+	// spec on construction, so the cell arithmetic can never drift from
+	// what Explore actually evaluates.
+	if cells := t.GridCells(); cells > maxDVFSCells {
 		writeErr(w, http.StatusBadRequest, "grid has %d cells, limit %d", cells, maxDVFSCells)
 		return
 	}
-	hash := spec.CanonicalHash()
-	s.cached(w, "dvfs?"+hash, func() (any, error) {
-		res, err := dvfs.Explore(spec)
-		if err != nil {
-			return nil, err
-		}
-		return DVFSResponse{
-			Hash:      hash,
-			Pfail:     spec.Pfail,
-			Seed:      spec.Seed,
-			Scale:     spec.Scale,
-			Workloads: spec.Workloads,
-			Points:    res.Points,
-			Frontier:  res.ParetoPoints(),
-		}, nil
-	})
+	s.runTask(w, r, t)
 }

@@ -12,12 +12,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vccmin/internal/engine"
 	"vccmin/internal/sweep"
 )
 
 // The async job subsystem. A job is one sweep.Spec execution; its identity
 // is the spec's canonical hash, so enqueueing an identical spec twice
 // yields the same job — the second POST is a cache hit that costs nothing.
+// Execution runs on the engine package's bounded worker Pool (the pool
+// this manager used to implement itself, folded into the engine layer).
 //
 // Jobs survive restarts through two files per job in the data directory:
 //
@@ -87,35 +90,25 @@ func (j *job) update(f func(*JobSnapshot)) {
 	f(&j.snap)
 }
 
-// Manager owns the job table, the bounded worker pool and the on-disk
-// checkpoints.
+// Manager owns the job table and the on-disk checkpoints; execution
+// runs on the engine's bounded worker pool.
 type Manager struct {
-	dir     string
-	queue   chan *job
-	ctx     context.Context
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
-	now     func() time.Time
-	workers int
+	dir  string
+	pool *engine.Pool
+	now  func() time.Time
 
 	mu   sync.RWMutex
 	jobs map[string]*job
 
-	draining  atomic.Bool
-	running   atomic.Int64
-	queued    atomic.Int64
 	dedupHits atomic.Uint64
 }
 
-// NewManager starts workers goroutines over the data directory, creating
-// it if needed, re-registering finished jobs and re-enqueueing unfinished
+// NewManager starts a worker pool over the data directory, creating it
+// if needed, re-registering finished jobs and re-enqueueing unfinished
 // ones found there.
 func NewManager(dir string, workers int) (*Manager, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("service: job manager needs a data directory")
-	}
-	if workers <= 0 {
-		workers = 2
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -124,26 +117,17 @@ func NewManager(dir string, workers int) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		dir: dir,
-		// Sized to hold every recovered job plus fresh headroom: recover
-		// enqueues before the workers start, so a smaller channel would
-		// block NewManager forever on a large enough backlog.
-		queue:   make(chan *job, len(specs)+1024),
-		ctx:     ctx,
-		cancel:  cancel,
-		now:     time.Now,
-		workers: workers,
-		jobs:    make(map[string]*job),
+		// The backlog holds every recovered job plus fresh headroom, so
+		// recovery can never block on a full queue.
+		pool: engine.NewPool(workers, len(specs)+1024),
+		now:  time.Now,
+		jobs: make(map[string]*job),
 	}
 	if err := m.recover(specs); err != nil {
-		cancel()
+		m.pool.Close()
 		return nil, err
-	}
-	for i := 0; i < workers; i++ {
-		m.wg.Add(1)
-		go m.worker()
 	}
 	return m, nil
 }
@@ -178,8 +162,9 @@ func (m *Manager) recover(specs []string) error {
 		}
 		j.snap = JobSnapshot{ID: id, Status: JobQueued, Resumed: true, CreatedAt: m.now().UTC()}
 		m.jobs[id] = j
-		m.queued.Add(1)
-		m.queue <- j
+		if err := m.pool.Submit(func(ctx context.Context) { m.run(ctx, j) }); err != nil {
+			return fmt.Errorf("service: recovering job %s: %w", id, err)
+		}
 	}
 	return nil
 }
@@ -197,7 +182,7 @@ func (m *Manager) Enqueue(spec sweep.Spec) (JobSnapshot, bool, error) {
 		m.dedupHits.Add(1)
 		return j.snapshot(), true, nil
 	}
-	if m.draining.Load() {
+	if m.pool.Draining() {
 		m.mu.Unlock()
 		return JobSnapshot{}, false, errDraining
 	}
@@ -212,17 +197,20 @@ func (m *Manager) Enqueue(spec sweep.Spec) (JobSnapshot, bool, error) {
 		m.mu.Unlock()
 		return JobSnapshot{}, false, err
 	}
-	select {
-	case m.queue <- j:
-		m.queued.Add(1)
-		return j.snapshot(), false, nil
-	default:
+	if err := m.pool.Submit(func(ctx context.Context) { m.run(ctx, j) }); err != nil {
 		m.mu.Lock()
 		delete(m.jobs, id)
 		m.mu.Unlock()
 		os.Remove(m.specPath(id))
-		return JobSnapshot{}, false, errQueueFull
+		switch {
+		case errors.Is(err, engine.ErrPoolDraining):
+			return JobSnapshot{}, false, errDraining
+		case errors.Is(err, engine.ErrPoolFull):
+			return JobSnapshot{}, false, errQueueFull
+		}
+		return JobSnapshot{}, false, err
 	}
+	return j.snapshot(), false, nil
 }
 
 var (
@@ -268,34 +256,17 @@ func (m *Manager) specPath(id string) string   { return filepath.Join(m.dir, id+
 func (m *Manager) donePath(id string) string   { return filepath.Join(m.dir, id+".done.json") }
 func (m *Manager) failedPath(id string) string { return filepath.Join(m.dir, id+".failed.json") }
 
-func (m *Manager) worker() {
-	defer m.wg.Done()
-	for {
-		select {
-		case <-m.ctx.Done():
-			return
-		case j := <-m.queue:
-			// running rises before queued falls: Drain polls for both
-			// counters at zero, and the opposite order opens a window
-			// where a mid-handoff job looks already drained.
-			m.running.Add(1)
-			m.queued.Add(-1)
-			m.run(j)
-			m.running.Add(-1)
-		}
-	}
-}
-
 // run executes one job through the checkpointed resume path, so an
-// interrupted execution is recoverable cell-for-cell.
-func (m *Manager) run(j *job) {
+// interrupted execution is recoverable cell-for-cell. ctx is the worker
+// pool's context; Close cancels it.
+func (m *Manager) run(ctx context.Context, j *job) {
 	started := m.now().UTC()
 	j.update(func(s *JobSnapshot) {
 		s.Status = JobRunning
 		s.StartedAt = &started
 	})
 	res, err := sweep.ResumeFile(j.spec, m.RowsPath(j.id), sweep.RunOptions{
-		Context: m.ctx,
+		Context: ctx,
 		OnProgress: func(p sweep.Progress) {
 			j.update(func(s *JobSnapshot) {
 				s.TotalCells = p.TotalCells
@@ -345,28 +316,11 @@ func (m *Manager) run(j *job) {
 // Drain stops accepting new jobs and waits for the queue to empty and the
 // running jobs to finish, or for ctx to expire — the graceful half of
 // shutdown. Call Close afterwards either way.
-func (m *Manager) Drain(ctx context.Context) error {
-	m.draining.Store(true)
-	tick := time.NewTicker(10 * time.Millisecond)
-	defer tick.Stop()
-	for {
-		if m.queued.Load() == 0 && m.running.Load() == 0 {
-			return nil
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-tick.C:
-		}
-	}
-}
+func (m *Manager) Drain(ctx context.Context) error { return m.pool.Drain(ctx) }
 
 // Close cancels any still-running jobs (their checkpoints keep them
 // resumable) and waits for the workers to exit.
-func (m *Manager) Close() {
-	m.cancel()
-	m.wg.Wait()
-}
+func (m *Manager) Close() { m.pool.Close() }
 
 // JobStats is the jobs section of the /v1/stats response.
 type JobStats struct {

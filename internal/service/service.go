@@ -1,27 +1,33 @@
-// Package service is the long-running HTTP face of the repository: the
-// closed-form Section IV analysis, the Table I overhead accounting, the
-// Fig. 1 operating-point model and single simulations as cheap synchronous
-// endpoints, and the PR-1 parameter-sweep engine behind an async job
-// subsystem with checkpoint/resume and result deduplication.
+// Package service is the long-running HTTP face of the repository: a
+// thin adapter layer over the content-addressed compute engine. Every
+// handler — the Section IV analysis, the Table I overhead accounting,
+// the Fig. 1 operating-point model, single simulations, the DVFS Pareto
+// explorer and the heterogeneous batch endpoint — constructs the same
+// typed tasks the CLIs construct and executes them through one
+// engine.Engine: an in-memory LRU fronting a content-addressed on-disk
+// store (surviving restarts alongside the sweep checkpoints), with
+// singleflight deduplication of concurrent identical requests. Sweeps
+// additionally run as async jobs with checkpoint/resume.
 //
 // Endpoints (all JSON; errors use the {"error":{"status","message"}}
-// envelope):
+// envelope; wrong methods get 405 with an Allow header):
 //
 //	GET  /v1/healthz                 liveness
-//	GET  /v1/stats                   cache and job counters
+//	GET  /v1/stats                   build version, per-kind engine stats, cache and job counters
 //	GET  /v1/capacity                Eq. 1-6 analytics (+ optional Monte Carlo check)
 //	GET  /v1/operating-point         Fig. 1 model at a pfail or performance floor
 //	GET  /v1/overhead                Table I transistor rows
-//	GET  /v1/dvfs                    phase-aware DVFS Pareto explorer (cached by canonical hash)
+//	GET  /v1/dvfs                    phase-aware DVFS Pareto explorer
 //	POST /v1/sim                     one simulation run, synchronous
+//	POST /v1/batch                   heterogeneous task list, shared dedup, answered in order
 //	POST /v1/sweeps                  enqueue a sweep job (202; idempotent by spec hash)
 //	GET  /v1/sweeps                  list jobs
 //	GET  /v1/sweeps/{id}             job status and progress
 //	GET  /v1/sweeps/{id}/rows        the job's JSONL rows, streamed
 //
 // Determinism is what makes the serving layer simple: every result is a
-// pure function of the request (seeds derive from parameters), so the LRU
-// response cache and the sweep-job deduplication need no invalidation.
+// pure function of the request (seeds derive from parameters), so
+// neither store tier nor the sweep-job deduplication needs invalidation.
 package service
 
 import (
@@ -32,18 +38,14 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"runtime"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
-	"vccmin/internal/dvfs"
-	"vccmin/internal/experiments"
-	"vccmin/internal/faults"
-	"vccmin/internal/geom"
-	"vccmin/internal/power"
-	"vccmin/internal/prob"
-	"vccmin/internal/sim"
-	"vccmin/internal/sweep"
+	"vccmin/internal/buildinfo"
+	"vccmin/internal/engine"
+	"vccmin/internal/tasks"
 )
 
 // Config sizes the service.
@@ -51,22 +53,34 @@ type Config struct {
 	// Addr is the listen address for Serve; default ":8780".
 	Addr string
 
-	// DataDir holds sweep-job specs and row checkpoints; jobs found there
-	// resume on startup. Default "vccmin-serve-data".
+	// DataDir holds sweep-job specs, row checkpoints and the engine's
+	// content-addressed result store (under results/). Jobs found there
+	// resume on startup; results found there serve without recompute.
+	// Default "vccmin-serve-data".
 	DataDir string
 
 	// Workers bounds concurrently running sweep jobs; default 2. Cell
 	// parallelism inside a job is the spec's own Workers field.
 	Workers int
 
-	// CacheEntries bounds the synchronous-endpoint LRU; default 512.
+	// CacheEntries bounds the engine's in-memory result tier; default 512.
 	CacheEntries int
 
 	// MaxGridCells rejects sweep specs whose grids exceed it; default 4096.
 	MaxGridCells int
 
+	// MaxBatchItems bounds one POST /v1/batch request; default 64.
+	MaxBatchItems int
+
 	// DrainTimeout bounds the graceful half of shutdown; default 30s.
 	DrainTimeout time.Duration
+
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request header (slowloris hardening); default 10s.
+	ReadHeaderTimeout time.Duration
+
+	// MaxHeaderBytes bounds a request's header block; default 1 MiB.
+	MaxHeaderBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,41 +99,105 @@ func (c Config) withDefaults() Config {
 	if c.MaxGridCells <= 0 {
 		c.MaxGridCells = 4096
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 10 * time.Second
+	}
+	if c.MaxHeaderBytes <= 0 {
+		c.MaxHeaderBytes = 1 << 20
 	}
 	return c
 }
 
-// Server routes the API over a job manager and a response cache.
+// Re-exported task shapes, so the HTTP surface and the task layer are
+// visibly the same types.
+type (
+	// CapacityResponse is the GET /v1/capacity payload.
+	CapacityResponse = tasks.CapacityResponse
+	// OperatingPointResponse is the GET /v1/operating-point payload.
+	OperatingPointResponse = tasks.OperatingPointResponse
+	// OverheadRow is one Table I row of the GET /v1/overhead payload.
+	OverheadRow = tasks.OverheadRow
+	// SimRequest is the POST /v1/sim body.
+	SimRequest = tasks.SimRequest
+	// SimResponse is the POST /v1/sim payload.
+	SimResponse = tasks.SimResponse
+	// SweepRequest is the POST /v1/sweeps body.
+	SweepRequest = tasks.SweepRequest
+	// DVFSResponse is the GET /v1/dvfs payload.
+	DVFSResponse = tasks.DVFSResponse
+)
+
+// Server routes the API over the compute engine and the sweep-job
+// manager.
 type Server struct {
-	cfg   Config
-	jobs  *Manager
-	cache *lruCache
-	mux   *http.ServeMux
+	cfg  Config
+	jobs *Manager
+	eng  *engine.Engine
+	mux  *http.ServeMux
 }
 
-// New builds a server, recovering any jobs checkpointed in the data
-// directory.
+// New builds a server: the compute engine over <DataDir>/results (so
+// previously computed results replay across restarts) and the job
+// manager over the sweep checkpoints in DataDir.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	eng, err := engine.New(engine.Options{
+		MemEntries: cfg.CacheEntries,
+		Dir:        filepath.Join(cfg.DataDir, "results"),
+	})
+	if err != nil {
+		return nil, err
+	}
 	jobs, err := NewManager(cfg.DataDir, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, jobs: jobs, cache: newLRU(cfg.CacheEntries), mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/capacity", s.handleCapacity)
-	s.mux.HandleFunc("GET /v1/operating-point", s.handleOperatingPoint)
-	s.mux.HandleFunc("GET /v1/overhead", s.handleOverhead)
-	s.mux.HandleFunc("GET /v1/dvfs", s.handleDVFS)
-	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepPost)
-	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/rows", s.handleSweepRows)
+	s := &Server{cfg: cfg, jobs: jobs, eng: eng, mux: http.NewServeMux()}
+	s.routes()
 	return s, nil
+}
+
+// routes registers every endpoint plus, per path, a method-less
+// fallback that answers any other verb with 405 and an Allow header
+// (the stdlib mux would otherwise reply with a bare text error).
+func (s *Server) routes() {
+	type route struct {
+		method, path string
+		h            http.HandlerFunc
+	}
+	table := []route{
+		{"GET", "/v1/healthz", s.handleHealthz},
+		{"GET", "/v1/stats", s.handleStats},
+		{"GET", "/v1/capacity", s.handleCapacity},
+		{"GET", "/v1/operating-point", s.handleOperatingPoint},
+		{"GET", "/v1/overhead", s.handleOverhead},
+		{"GET", "/v1/dvfs", s.handleDVFS},
+		{"POST", "/v1/sim", s.handleSim},
+		{"POST", "/v1/batch", s.handleBatch},
+		{"POST", "/v1/sweeps", s.handleSweepPost},
+		{"GET", "/v1/sweeps", s.handleSweepList},
+		{"GET", "/v1/sweeps/{id}", s.handleSweepGet},
+		{"GET", "/v1/sweeps/{id}/rows", s.handleSweepRows},
+	}
+	allowed := map[string][]string{}
+	for _, r := range table {
+		s.mux.HandleFunc(r.method+" "+r.path, r.h)
+		allowed[r.path] = append(allowed[r.path], r.method)
+	}
+	for path, methods := range allowed {
+		allow := strings.Join(methods, ", ")
+		s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed on %s (allow: %s)",
+				r.Method, r.URL.Path, allow)
+		})
+	}
 }
 
 // Handler returns the routed HTTP handler (for httptest and embedding).
@@ -127,6 +205,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Jobs exposes the job manager (for embedding and tests).
 func (s *Server) Jobs() *Manager { return s.jobs }
+
+// Engine exposes the compute engine (for embedding and tests).
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Drain stops accepting jobs and waits for in-flight ones, bounded by the
 // configured drain timeout.
@@ -145,7 +226,12 @@ func Serve(ctx context.Context, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
+	srv := &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		MaxHeaderBytes:    cfg.MaxHeaderBytes,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -194,31 +280,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(b, '\n'))
 }
 
-// cached serves the computation identified by key through the LRU: a hit
-// replays the stored bytes (X-Cache: hit), a miss computes, stores and
-// serves them. compute errors are not cached.
-func (s *Server) cached(w http.ResponseWriter, key string, compute func() (any, error)) {
-	if b, ok := s.cache.get(key); ok {
-		w.Header().Set("X-Cache", "hit")
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(b)
+// runTask executes one task through the engine and writes its stored
+// bytes, with X-Cache reporting which tier answered ("miss" = computed
+// now, "hit" = memory, "disk" = the on-disk store, e.g. after a
+// restart, "inflight" = deduplicated onto a concurrent identical
+// request). Task errors are never cached; bad-input errors answer 400,
+// while internal encode failures are 500 and the requester's own
+// cancellation 503 (retryable, not a client mistake).
+func (s *Server) runTask(w http.ResponseWriter, r *http.Request, t engine.Task) {
+	res, err := s.eng.Do(r.Context(), t)
+	switch {
+	case errors.Is(err, engine.ErrEncoding):
+		writeErr(w, http.StatusInternalServerError, "%s", err)
 		return
-	}
-	v, err := compute()
-	if err != nil {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusServiceUnavailable, "%s", err)
+		return
+	case err != nil:
 		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	b, err := json.Marshal(v)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "encoding response: %s", err)
-		return
-	}
-	b = append(b, '\n')
-	s.cache.put(key, b)
-	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("X-Cache", string(res.Source))
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(b)
+	// Two writes, not an append: the stored bytes are shared across
+	// concurrent requests and appending could scribble a newline into
+	// another handler's in-flight response.
+	w.Write(res.Bytes)
+	w.Write([]byte{'\n'})
 }
 
 // ---- Query parsing helpers ----
@@ -247,384 +335,171 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
-func queryGeom(r *http.Request) (geom.Geometry, error) {
-	v := r.URL.Query().Get("geom")
-	if v == "" {
-		return experiments.ReferenceGeometry(), nil
-	}
-	return geom.Parse(v)
-}
-
 // ---- Sync endpoints ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// Stats is the /v1/stats response.
+// Stats is the /v1/stats response: the running build, the engine's
+// per-kind counters, the memory tier's aggregate view and the job
+// counters.
 type Stats struct {
-	Cache CacheStats `json:"cache"`
-	Jobs  JobStats   `json:"jobs"`
+	Version string                      `json:"version"`
+	Cache   CacheStats                  `json:"cache"`
+	Engine  map[string]engine.KindStats `json:"engine"`
+	Jobs    JobStats                    `json:"jobs"`
 }
+
+// CacheStats is the memory tier's aggregate counters.
+type CacheStats = engine.CacheStats
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Stats{Cache: s.cache.stats(), Jobs: s.jobs.stats()})
-}
-
-// CapacityResponse carries the Section IV closed forms at one (geometry,
-// pfail, granularity) point, plus an optional Monte Carlo cross-check.
-type CapacityResponse struct {
-	Pfail       float64 `json:"pfail"`
-	Geometry    string  `json:"geometry"`
-	Granularity string  `json:"granularity"`
-
-	ExpectedCapacity        float64 `json:"expected_capacity"`          // Eq. 2 at the granularity
-	MeanFaultyBlockFraction float64 `json:"mean_faulty_block_fraction"` // 1 - Eq. 2 per block
-	WordDisableFailProb     float64 `json:"word_disable_fail_prob"`     // Eqs. 4-5
-	IncrementalWDCapacity   float64 `json:"incremental_wd_capacity"`    // Eq. 6
-	BitFixFailProb          float64 `json:"bitfix_fail_prob"`           // extension
-
-	// Monte Carlo cross-check, present when trials > 0 is requested.
-	MeasuredCapacity *float64 `json:"measured_capacity,omitempty"`
-	Trials           int      `json:"trials,omitempty"`
+	writeJSON(w, http.StatusOK, Stats{
+		Version: buildinfo.String(),
+		Cache:   s.eng.MemStats(),
+		Engine:  s.eng.Stats(),
+		Jobs:    s.jobs.stats(),
+	})
 }
 
 func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
-	// workers only changes Monte Carlo scheduling, never the estimate, so
-	// it is dropped from the cache key: the same query at a different
-	// worker count replays the cached bytes instead of recomputing.
-	// (Values.Encode sorts keys, which also canonicalizes param order.)
-	// It is validated HERE, before the cache is consulted, so a malformed
-	// value is a 400 regardless of cache state, and clamped to the CPU
-	// count — beyond that extra workers only cost goroutines and sampler
-	// buffers (each owns a full fault map), which an unauthenticated
-	// request must not be able to multiply.
-	workers, err := queryInt(r, "workers", 0)
+	var req tasks.CapacityRequest
+	pfail, err := queryFloat(r, "pfail", 0.001)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	if max := runtime.GOMAXPROCS(0); workers > max {
-		workers = max
+	req.Pfail = &pfail
+	req.Geometry = r.URL.Query().Get("geom")
+	req.Granularity = r.URL.Query().Get("gran")
+	if req.Trials, err = queryInt(r, "trials", 0); err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
 	}
-	q := r.URL.Query()
-	q.Del("workers")
-	s.cached(w, "capacity?"+q.Encode(), func() (any, error) {
-		pfail, err := queryFloat(r, "pfail", 0.001)
-		if err != nil {
-			return nil, err
-		}
-		if pfail < 0 || pfail >= 1 {
-			return nil, fmt.Errorf("pfail %v out of [0,1)", pfail)
-		}
-		g, err := queryGeom(r)
-		if err != nil {
-			return nil, err
-		}
-		granName := r.URL.Query().Get("gran")
-		if granName == "" {
-			granName = "block"
-		}
-		gran, err := prob.ParseGranularity(granName)
-		if err != nil {
-			return nil, err
-		}
-		trials, err := queryInt(r, "trials", 0)
-		if err != nil {
-			return nil, err
-		}
-		seed, err := queryInt(r, "seed", 1)
-		if err != nil {
-			return nil, err
-		}
-		resp := CapacityResponse{
-			Pfail:                   pfail,
-			Geometry:                fmt.Sprintf("%dx%dx%d", g.SizeBytes, g.Ways, g.BlockBytes),
-			Granularity:             gran.String(),
-			ExpectedCapacity:        prob.GranularityCapacity(g, gran, pfail),
-			MeanFaultyBlockFraction: prob.MeanFaultyBlockFraction(g.CellsPerBlock(), pfail),
-			WordDisableFailProb:     prob.WordDisableWholeCacheFailProb(g.Blocks(), g.BlockBytes, 32, 8, pfail),
-			IncrementalWDCapacity:   prob.IncrementalWDCapacity(g.DataBits(), 8, 32, pfail),
-			BitFixFailProb:          prob.BitFixWholeCacheFailProb(g.Blocks(), g.DataBits(), 8, 1, pfail),
-		}
-		if trials > 0 {
-			if trials > 10_000 {
-				return nil, fmt.Errorf("trials %d too large (max 10000)", trials)
-			}
-			// workers bounds the Monte Carlo pool (0 = all CPUs); the
-			// estimate itself is identical for every worker count.
-			mc := experiments.MeasuredBlockDisableCapacityWorkers(g, pfail, trials, int64(seed), workers)
-			resp.MeasuredCapacity = &mc
-			resp.Trials = trials
-		}
-		return resp, nil
-	})
-}
-
-// OperatingPointResponse is the Fig. 1 model's answer at one query point.
-type OperatingPointResponse struct {
-	Pfail          float64 `json:"pfail,omitempty"`
-	MinPerformance float64 `json:"min_performance,omitempty"`
-
-	Voltage              float64 `json:"voltage"`
-	Frequency            float64 `json:"frequency"`
-	Power                float64 `json:"power"`
-	Performance          float64 `json:"performance"`
-	Zone                 string  `json:"zone"`
-	EnergyPerInstruction float64 `json:"energy_per_instruction"`
+	if req.Seed, err = queryInt(r, "seed", 1); err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	// workers only changes Monte Carlo scheduling, never the estimate;
+	// the task excludes it from the canonical hash, so the same query at
+	// a different worker count replays the stored bytes. It is still
+	// validated here so a malformed value is a 400 regardless of cache
+	// state.
+	if req.Workers, err = queryInt(r, "workers", 0); err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	t, err := tasks.NewCapacityTask(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	s.runTask(w, r, t)
 }
 
 func (s *Server) handleOperatingPoint(w http.ResponseWriter, r *http.Request) {
-	s.cached(w, "operating-point?"+r.URL.RawQuery, func() (any, error) {
-		m := power.Default()
-		if v := r.URL.Query().Get("min_performance"); v != "" {
-			minPerf, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad min_performance %q", v)
-			}
-			choice, ok := m.MostEfficientPoint(minPerf, 400)
-			if !ok {
-				return nil, fmt.Errorf("no operating point delivers performance >= %v", minPerf)
-			}
-			return OperatingPointResponse{
-				MinPerformance:       minPerf,
-				Voltage:              choice.Point.Voltage,
-				Frequency:            choice.Point.Freq,
-				Power:                choice.Point.Power,
-				Performance:          choice.Point.Performance,
-				Zone:                 choice.Point.Zone.String(),
-				EnergyPerInstruction: choice.EnergyPerWork,
-			}, nil
+	var req tasks.OperatingPointRequest
+	if v := r.URL.Query().Get("min_performance"); v != "" {
+		minPerf, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad min_performance %q", v)
+			return
 		}
+		req.MinPerformance = &minPerf
+	} else {
 		pfail, err := queryFloat(r, "pfail", 0.001)
 		if err != nil {
-			return nil, err
+			writeErr(w, http.StatusBadRequest, "%s", err)
+			return
 		}
-		if pfail <= 0 || pfail >= 1 {
-			return nil, fmt.Errorf("pfail %v out of (0,1)", pfail)
-		}
-		p := m.OperatingPointForPfail(pfail)
-		return OperatingPointResponse{
-			Pfail:                pfail,
-			Voltage:              p.Voltage,
-			Frequency:            p.Freq,
-			Power:                p.Power,
-			Performance:          p.Performance,
-			Zone:                 p.Zone.String(),
-			EnergyPerInstruction: power.EnergyPerWork(p),
-		}, nil
-	})
-}
-
-// OverheadRow is one Table I row with the scheme spelled out.
-type OverheadRow struct {
-	Scheme             string `json:"scheme"`
-	TagTransistors     int    `json:"tag_transistors"`
-	DisableTransistors int    `json:"disable_transistors"`
-	VictimTransistors  int    `json:"victim_transistors"`
-	AlignmentNetwork   bool   `json:"alignment_network"`
-	Total              int    `json:"total"`
+		req.Pfail = &pfail
+	}
+	t, err := tasks.NewOperatingPointTask(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	s.runTask(w, r, t)
 }
 
 func (s *Server) handleOverhead(w http.ResponseWriter, r *http.Request) {
-	s.cached(w, "overhead", func() (any, error) {
-		rows := experiments.TableI()
-		out := make([]OverheadRow, 0, len(rows))
-		for _, row := range rows {
-			out = append(out, OverheadRow{
-				Scheme:             row.Scheme.String(),
-				TagTransistors:     row.TagTransistors,
-				DisableTransistors: row.DisableTransistors,
-				VictimTransistors:  row.VictimTransistors,
-				AlignmentNetwork:   row.AlignmentNetwork,
-				Total:              row.Total,
-			})
-		}
-		return map[string]any{"rows": out}, nil
-	})
-}
-
-// SimRequest is the POST /v1/sim body. String fields use the CLI forms
-// (scheme "block", victim "10t", mode "low"); zero values take the
-// reference defaults.
-type SimRequest struct {
-	Benchmark    string  `json:"benchmark"`
-	Mode         string  `json:"mode"`
-	Scheme       string  `json:"scheme"`
-	Victim       string  `json:"victim"`
-	Geometry     string  `json:"geometry"`
-	Pfail        float64 `json:"pfail"`
-	Seed         int64   `json:"seed"`
-	Instructions int     `json:"instructions"`
-}
-
-// SimResponse summarizes one simulation run.
-type SimResponse struct {
-	Benchmark     string  `json:"benchmark"`
-	Mode          string  `json:"mode"`
-	Scheme        string  `json:"scheme"`
-	Victim        string  `json:"victim"`
-	Pfail         float64 `json:"pfail"`
-	Seed          int64   `json:"seed"`
-	Instructions  int     `json:"instructions"`
-	IPC           float64 `json:"ipc"`
-	ICapacity     float64 `json:"i_capacity"`
-	DCapacity     float64 `json:"d_capacity"`
-	VictimHitRate float64 `json:"victim_hit_rate"`
-}
-
-func (req SimRequest) options() (sim.Options, error) {
-	opts := sim.Options{Benchmark: req.Benchmark, Seed: req.Seed, Instructions: req.Instructions}
-	if opts.Benchmark == "" {
-		return opts, fmt.Errorf("benchmark is required")
-	}
-	switch req.Mode {
-	case "", "low", "low-voltage":
-		opts.Mode = sim.LowVoltage
-	case "high", "high-voltage":
-		opts.Mode = sim.HighVoltage
-	default:
-		return opts, fmt.Errorf("bad mode %q (want low or high)", req.Mode)
-	}
-	var err error
-	if req.Scheme != "" {
-		if opts.Scheme, err = sim.ParseScheme(req.Scheme); err != nil {
-			return opts, err
-		}
-	}
-	if req.Victim != "" {
-		if opts.Victim, err = sim.ParseVictim(req.Victim); err != nil {
-			return opts, err
-		}
-	}
-	g := experiments.ReferenceGeometry()
-	if req.Geometry != "" {
-		if g, err = geom.Parse(req.Geometry); err != nil {
-			return opts, err
-		}
-		machine := sim.Reference(opts.Mode)
-		machine.L1Size, machine.L1Ways, machine.L1BlockBytes = g.SizeBytes, g.Ways, g.BlockBytes
-		opts.Machine = &machine
-	}
-	if req.Pfail < 0 || req.Pfail >= 1 {
-		return opts, fmt.Errorf("pfail %v out of [0,1)", req.Pfail)
-	}
-	// Fault-dependent schemes at low voltage need a fault-map pair; draw
-	// it deterministically from the request's pfail and seed on the
-	// sparse fast path.
-	if opts.Mode == sim.LowVoltage && (opts.Scheme == sim.BlockDisable ||
-		opts.Scheme == sim.IncrementalWordDisable || opts.Scheme == sim.BitFix) {
-		pair := faults.GeneratePairSparse(g, g, 32, req.Pfail, faults.DeriveSeed(req.Seed, "serve-sim-pair"))
-		opts.Pair = &pair
-	}
-	return opts, nil
+	s.runTask(w, r, tasks.OverheadTask{})
 }
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	var req SimRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBody(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	key, err := json.Marshal(req)
+	t, err := tasks.NewSimTask(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	s.cached(w, "sim?"+string(key), func() (any, error) {
-		opts, err := req.options()
-		if err != nil {
-			return nil, err
+	s.runTask(w, r, t)
+}
+
+// ---- Batch endpoint ----
+
+// BatchRequest is the POST /v1/batch body: a heterogeneous list of task
+// requests executed through the engine with shared deduplication.
+type BatchRequest struct {
+	Requests []engine.BatchItem `json:"requests"`
+}
+
+// BatchResponse answers the items in request order; per-item failures
+// carry an error string instead of a value and never fail the batch.
+type BatchResponse struct {
+	Results []engine.BatchResult `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatchItems {
+		writeErr(w, http.StatusBadRequest, "batch has %d requests, limit %d",
+			len(req.Requests), s.cfg.MaxBatchItems)
+		return
+	}
+	// Gate grid- and scale-shaped tasks before any simulation runs,
+	// mirroring the sync endpoints' limits; a rejected item's error
+	// lands in its own slot, so one oversized request cannot fail its
+	// siblings.
+	results := engine.RunBatchFiltered(r.Context(), s.eng, req.Requests, 0, func(t engine.Task) error {
+		switch tt := t.(type) {
+		case tasks.DVFSExploreTask:
+			if n := tt.GridCells(); n > maxDVFSCells {
+				return fmt.Errorf("grid has %d cells, limit %d", n, maxDVFSCells)
+			}
+			if tt.Spec.Scale > maxDVFSScale {
+				return fmt.Errorf("scale %d out of [0,%d]", tt.Spec.Scale, maxDVFSScale)
+			}
+		case tasks.DVFSRunTask:
+			if tt.Req.Scale > maxDVFSScale {
+				return fmt.Errorf("scale %d out of [0,%d]", tt.Req.Scale, maxDVFSScale)
+			}
+		default:
+			if g, ok := t.(interface{ GridCells() int }); ok {
+				if n := g.GridCells(); n > s.cfg.MaxGridCells {
+					return fmt.Errorf("grid has %d cells, limit %d", n, s.cfg.MaxGridCells)
+				}
+			}
 		}
-		res, err := sim.Run(opts)
-		if err != nil {
-			return nil, err
-		}
-		return SimResponse{
-			Benchmark:     req.Benchmark,
-			Mode:          opts.Mode.String(),
-			Scheme:        opts.Scheme.String(),
-			Victim:        opts.Victim.String(),
-			Pfail:         req.Pfail,
-			Seed:          req.Seed,
-			Instructions:  opts.Instructions,
-			IPC:           res.IPC,
-			ICapacity:     res.ICapacity,
-			DCapacity:     res.DCapacity,
-			VictimHitRate: res.VictimHitRate,
-		}, nil
+		return nil
 	})
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
 // ---- Async sweep endpoints ----
-
-// SweepRequest is the POST /v1/sweeps body: the sweep.Spec grid with the
-// enum axes spelled as CLI-style strings. Empty axes take the engine's
-// reference defaults.
-type SweepRequest struct {
-	Pfails        []float64 `json:"pfails"`
-	Geometries    []string  `json:"geometries"`
-	Schemes       []string  `json:"schemes"`
-	Victims       []string  `json:"victims"`
-	Granularities []string  `json:"granularities"`
-	Policies      []string  `json:"policies"`
-	DVFSWorkloads []string  `json:"dvfs_workloads"`
-	Benchmarks    []string  `json:"benchmarks"`
-	Trials        int       `json:"trials"`
-	Instructions  int       `json:"instructions"`
-	BaseSeed      int64     `json:"base_seed"`
-	Workers       int       `json:"workers"`
-}
-
-// Spec converts the request into the engine's spec form.
-func (r SweepRequest) Spec() (sweep.Spec, error) {
-	spec := sweep.Spec{
-		Pfails:        r.Pfails,
-		DVFSWorkloads: r.DVFSWorkloads,
-		Benchmarks:    r.Benchmarks,
-		Trials:        r.Trials,
-		Instructions:  r.Instructions,
-		BaseSeed:      r.BaseSeed,
-		Workers:       r.Workers,
-	}
-	var err error
-	for _, g := range r.Geometries {
-		gg, err := geom.Parse(g)
-		if err != nil {
-			return spec, err
-		}
-		spec.Geometries = append(spec.Geometries, gg)
-	}
-	for _, v := range r.Schemes {
-		sc, err := sim.ParseScheme(v)
-		if err != nil {
-			return spec, err
-		}
-		spec.Schemes = append(spec.Schemes, sc)
-	}
-	for _, v := range r.Victims {
-		vk, err := sim.ParseVictim(v)
-		if err != nil {
-			return spec, err
-		}
-		spec.Victims = append(spec.Victims, vk)
-	}
-	for _, v := range r.Granularities {
-		gr, err := prob.ParseGranularity(v)
-		if err != nil {
-			return spec, err
-		}
-		spec.Granularities = append(spec.Granularities, gr)
-	}
-	for _, v := range r.Policies {
-		p, err := dvfs.ParsePolicy(v)
-		if err != nil {
-			return spec, err
-		}
-		spec.Policies = append(spec.Policies, p)
-	}
-	return spec, err
-}
 
 // SweepAccepted is the POST /v1/sweeps response.
 type SweepAccepted struct {
@@ -634,7 +509,7 @@ type SweepAccepted struct {
 
 func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBody(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
@@ -707,9 +582,15 @@ func (s *Server) handleSweepRows(w http.ResponseWriter, r *http.Request) {
 	io.Copy(w, f)
 }
 
-// decodeBody strictly parses a JSON request body.
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+// maxBodyBytes bounds every JSON request body (the header limits from
+// Config do not cover bodies): generous for real sweep specs and
+// batches, small enough that an unauthenticated POST cannot buffer
+// arbitrary memory before validation rejects it.
+const maxBodyBytes = 8 << 20
+
+// decodeBody strictly parses a size-capped JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)

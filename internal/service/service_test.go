@@ -489,27 +489,6 @@ func manyPfails(n int) []float64 {
 	return out
 }
 
-// TestLRUEviction covers the cache's bound.
-func TestLRUEviction(t *testing.T) {
-	c := newLRU(2)
-	c.put("a", []byte("1"))
-	c.put("b", []byte("2"))
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a evicted too early")
-	}
-	c.put("c", []byte("3")) // evicts b (a was just used)
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b should have been evicted")
-	}
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a should have survived")
-	}
-	st := c.stats()
-	if st.Evicted != 1 || st.Entries != 2 {
-		t.Fatalf("stats %+v", st)
-	}
-}
-
 func TestManagerQueueFullAndSpecRoundTrip(t *testing.T) {
 	// Spec JSON round-trip: what the manager persists must rehash to the
 	// same id after a restart, or recovery would duplicate jobs.

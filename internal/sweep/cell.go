@@ -75,6 +75,15 @@ func faultDependent(s sim.Scheme) bool {
 	return s == sim.BlockDisable || s == sim.IncrementalWordDisable
 }
 
+// EvaluateCell computes one cell of the spec's grid in isolation — the
+// single-cell entry point the engine task layer uses. The row is
+// byte-identical to the same cell's line in a full sweep: all randomness
+// descends from the cell seed, which descends from the cell key and the
+// base seed, never from which caller, shard or worker runs it.
+func (s Spec) EvaluateCell(c Cell) (Row, error) {
+	return s.withDefaults().evaluate(c)
+}
+
 // evaluate computes one cell. All randomness descends from the cell seed,
 // which descends from the cell key, so the result is independent of which
 // shard or worker runs it.

@@ -1,0 +1,319 @@
+package tasks
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"vccmin/internal/engine"
+	"vccmin/internal/sweep"
+)
+
+func mustRun(t *testing.T, task engine.Task) []byte {
+	t.Helper()
+	v, err := task.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%s: %v", task.Kind(), err)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCapacityTaskDefaultsAndHash(t *testing.T) {
+	// An empty request and its spelled-out default form must share one
+	// content address...
+	empty, err := NewCapacityTask(CapacityRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 0.001
+	spelled, err := NewCapacityTask(CapacityRequest{Pfail: &p, Granularity: "block", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.CanonicalHash() != spelled.CanonicalHash() {
+		t.Fatal("defaulted and spelled-out requests must hash equal")
+	}
+	// ...and the worker knob must not change it (scheduling, not results).
+	workers, _ := NewCapacityTask(CapacityRequest{Workers: 7})
+	if workers.CanonicalHash() != empty.CanonicalHash() {
+		t.Fatal("workers must be excluded from the canonical hash")
+	}
+	other := 0.002
+	diff, _ := NewCapacityTask(CapacityRequest{Pfail: &other})
+	if diff.CanonicalHash() == empty.CanonicalHash() {
+		t.Fatal("pfail must change the canonical hash")
+	}
+
+	var resp CapacityResponse
+	if err := json.Unmarshal(mustRun(t, empty), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Pfail != 0.001 || resp.Geometry != "32768x8x64" || resp.Granularity != "block" {
+		t.Fatalf("defaults not applied: %+v", resp)
+	}
+	if resp.ExpectedCapacity <= 0 || resp.ExpectedCapacity >= 1 {
+		t.Fatalf("expected capacity %v out of (0,1)", resp.ExpectedCapacity)
+	}
+}
+
+func TestCapacityTaskValidation(t *testing.T) {
+	bad := 2.0
+	for name, req := range map[string]CapacityRequest{
+		"pfail":  {Pfail: &bad},
+		"geom":   {Geometry: "banana"},
+		"gran":   {Granularity: "nope"},
+		"trials": {Trials: 100_000},
+	} {
+		if _, err := NewCapacityTask(req); err == nil {
+			t.Errorf("%s: bad request accepted", name)
+		}
+	}
+}
+
+func TestOperatingPointTaskModes(t *testing.T) {
+	minPerf := 0.5
+	perf, err := NewOperatingPointTask(OperatingPointRequest{MinPerformance: &minPerf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp OperatingPointResponse
+	if err := json.Unmarshal(mustRun(t, perf), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Performance < 0.5 || resp.MinPerformance != 0.5 {
+		t.Fatalf("floor mode response %+v", resp)
+	}
+
+	// In floor mode, pfail is irrelevant and must not split the cache.
+	p := 0.005
+	withPfail, _ := NewOperatingPointTask(OperatingPointRequest{MinPerformance: &minPerf, Pfail: &p})
+	if withPfail.CanonicalHash() != perf.CanonicalHash() {
+		t.Fatal("pfail must be ignored in performance-floor mode")
+	}
+
+	zero := 0.0
+	if _, err := NewOperatingPointTask(OperatingPointRequest{Pfail: &zero}); err == nil {
+		t.Fatal("pfail 0 must be rejected in pfail mode")
+	}
+}
+
+func TestOverheadTask(t *testing.T) {
+	var resp OverheadResponse
+	if err := json.Unmarshal(mustRun(t, OverheadTask{}), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 6 || resp.Rows[0].Scheme != "Baseline" {
+		t.Fatalf("Table I rows %+v", resp.Rows)
+	}
+}
+
+func TestSimTaskMatchesDirectRun(t *testing.T) {
+	req := SimRequest{Benchmark: "crafty", Scheme: "block", Pfail: 0.001, Instructions: 3000}
+	task, err := NewSimTask(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp SimResponse
+	if err := json.Unmarshal(mustRun(t, task), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.IPC <= 0 || resp.Scheme != "block-disable" || resp.Mode != "low-voltage" {
+		t.Fatalf("sim response %+v", resp)
+	}
+	// Identical requests share an identity; different seeds do not.
+	same, _ := NewSimTask(req)
+	if same.CanonicalHash() != task.CanonicalHash() {
+		t.Fatal("identical sim requests must hash equal")
+	}
+	req.Seed = 9
+	seeded, _ := NewSimTask(req)
+	if seeded.CanonicalHash() == task.CanonicalHash() {
+		t.Fatal("seed must change the sim hash")
+	}
+	if _, err := NewSimTask(SimRequest{}); err == nil {
+		t.Fatal("missing benchmark must be rejected")
+	}
+}
+
+func tinySweepRequest() SweepRequest {
+	return SweepRequest{
+		Pfails:       []float64{0.001, 0.005},
+		Schemes:      []string{"baseline", "block"},
+		Benchmarks:   []string{"crafty"},
+		Trials:       2,
+		Instructions: 2000,
+		BaseSeed:     7,
+	}
+}
+
+// TestSweepTasksMatchStreamingRun is the refactor's core invariant: the
+// engine-task forms of a sweep (whole run, single cell) must reproduce
+// the streaming path's rows exactly.
+func TestSweepTasksMatchStreamingRun(t *testing.T) {
+	req := tinySweepRequest()
+	spec, err := req.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sweep.Run(spec, sweep.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runTask, err := NewSweepRunTask(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runTask.CanonicalHash() != spec.CanonicalHash() {
+		t.Fatal("sweep task hash must equal the spec's canonical hash")
+	}
+	if runTask.GridCells() != 4 {
+		t.Fatalf("grid cells %d, want 4", runTask.GridCells())
+	}
+	var resp SweepRunResponse
+	if err := json.Unmarshal(mustRun(t, runTask), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Computed != 4 || len(resp.Rows) != 4 || resp.Stream != sweep.StreamVersion {
+		t.Fatalf("sweep response %+v", resp)
+	}
+	directBytes, _ := json.Marshal(direct.Rows)
+	taskBytes, _ := json.Marshal(resp.Rows)
+	if string(directBytes) != string(taskBytes) {
+		t.Fatal("task rows differ from the streaming run's rows")
+	}
+
+	// Each single-cell task must reproduce its row in isolation.
+	for i, want := range direct.Rows {
+		cellTask, err := NewSweepCellTask(SweepCellRequest{SweepRequest: req, Index: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var row sweep.Row
+		if err := json.Unmarshal(mustRun(t, cellTask), &row); err != nil {
+			t.Fatal(err)
+		}
+		wantB, _ := json.Marshal(want)
+		gotB, _ := json.Marshal(row)
+		if string(wantB) != string(gotB) {
+			t.Fatalf("cell %d row differs from the full run's", i)
+		}
+	}
+
+	if _, err := NewSweepCellTask(SweepCellRequest{SweepRequest: req, Index: 99}); err == nil {
+		t.Fatal("out-of-grid cell index must be rejected")
+	}
+	if _, err := NewSweepRunTask(SweepRequest{Schemes: []string{"nope"}}); err == nil {
+		t.Fatal("bad scheme must be rejected")
+	}
+}
+
+func TestDVFSExploreTask(t *testing.T) {
+	req := DVFSExploreRequest{
+		Workloads: []string{"compute-memory-swing"},
+		Schemes:   []string{"block"},
+		Policies:  []string{"static-high", "static-low", "oracle"},
+		Seed:      5,
+		Scale:     8000,
+	}
+	task, err := NewDVFSExploreTask(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.GridCells() != 3 {
+		t.Fatalf("grid cells %d, want 3", task.GridCells())
+	}
+	var resp DVFSResponse
+	if err := json.Unmarshal(mustRun(t, task), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 3 || len(resp.Frontier) == 0 || resp.Hash == "" || resp.Runs != nil {
+		t.Fatalf("explore response %+v", resp)
+	}
+
+	// IncludeRuns changes the stored bytes, so it must change the task
+	// identity — but not the reported spec hash.
+	req.IncludeRuns = true
+	withRuns, err := NewDVFSExploreTask(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRuns.CanonicalHash() == task.CanonicalHash() {
+		t.Fatal("runs flag must change the task hash")
+	}
+	var respRuns DVFSResponse
+	if err := json.Unmarshal(mustRun(t, withRuns), &respRuns); err != nil {
+		t.Fatal(err)
+	}
+	if len(respRuns.Runs) != 3 || respRuns.Hash != resp.Hash {
+		t.Fatalf("runs response: %d runs, hash %s vs %s", len(respRuns.Runs), respRuns.Hash, resp.Hash)
+	}
+
+	for name, bad := range map[string]DVFSExploreRequest{
+		"workload": {Workloads: []string{"nope"}},
+		"scheme":   {Schemes: []string{"nope"}},
+		"policy":   {Policies: []string{"warp"}},
+		"none":     {Policies: []string{"none"}},
+	} {
+		if _, err := NewDVFSExploreTask(bad); err == nil {
+			t.Errorf("%s: bad request accepted", name)
+		}
+	}
+}
+
+func TestDVFSRunTask(t *testing.T) {
+	task, err := NewDVFSRunTask(DVFSRunRequest{
+		Workload: "bursty-server", Scheme: "block", Policy: "oracle", Scale: 6000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(mustRun(t, task), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["workload"] != "bursty-server" || resp["policy"] != "oracle" {
+		t.Fatalf("run response %+v", resp)
+	}
+	if _, err := NewDVFSRunTask(DVFSRunRequest{Workload: "bursty-server", Policy: "none"}); err == nil {
+		t.Fatal("policy none must be rejected")
+	}
+	if _, err := NewDVFSRunTask(DVFSRunRequest{Workload: "nope", Policy: "oracle"}); err == nil {
+		t.Fatal("unknown workload must be rejected")
+	}
+}
+
+// TestRegistryDecodesEveryKind proves each registered kind decodes its
+// JSON form into the same identity the typed constructors build.
+func TestRegistryDecodesEveryKind(t *testing.T) {
+	cases := map[string]string{
+		KindCapacity:       `{"pfail":0.001,"trials":5}`,
+		KindOperatingPoint: `{"min_performance":0.5}`,
+		KindOverhead:       `{}`,
+		KindSim:            `{"benchmark":"crafty","scheme":"block","pfail":0.001,"instructions":2000}`,
+		KindSweep:          `{"pfails":[0.001],"schemes":["baseline"],"benchmarks":["crafty"],"trials":1,"instructions":1000}`,
+		KindSweepCell:      `{"pfails":[0.001],"schemes":["baseline"],"benchmarks":["crafty"],"trials":1,"instructions":1000,"index":0}`,
+		KindDVFSRun:        `{"workload":"bursty-server","policy":"oracle","scale":4000}`,
+		KindDVFSExplore:    `{"workloads":["bursty-server"],"schemes":["block"],"policies":["oracle"],"scale":4000}`,
+	}
+	for kind, params := range cases {
+		task, err := engine.DecodeTask(kind, json.RawMessage(params))
+		if err != nil {
+			t.Errorf("%s: decode: %v", kind, err)
+			continue
+		}
+		if task.Kind() != kind {
+			t.Errorf("%s: decoded kind %q", kind, task.Kind())
+		}
+		if task.CanonicalHash() == "" {
+			t.Errorf("%s: empty canonical hash", kind)
+		}
+	}
+	if _, err := engine.DecodeTask(KindSim, json.RawMessage(`{"bogus":1}`)); err == nil {
+		t.Error("unknown field must be rejected")
+	}
+}

@@ -48,6 +48,7 @@ import (
 
 	"vccmin/internal/core"
 	"vccmin/internal/dvfs"
+	"vccmin/internal/engine"
 	"vccmin/internal/experiments"
 	"vccmin/internal/faults"
 	"vccmin/internal/geom"
@@ -57,6 +58,7 @@ import (
 	"vccmin/internal/service"
 	"vccmin/internal/sim"
 	"vccmin/internal/sweep"
+	"vccmin/internal/tasks"
 	"vccmin/internal/workload"
 )
 
@@ -393,6 +395,62 @@ func SummarizeSweep(rows []SweepRow) []SweepAxisSummary { return sweep.Summarize
 
 // ReadSweepRows parses a JSON-lines sweep output stream.
 func ReadSweepRows(r io.Reader) ([]SweepRow, error) { return sweep.ReadRows(r) }
+
+// ---- Content-addressed compute engine ----
+
+// Engine is the unified content-addressed compute layer every
+// entrypoint (HTTP handlers, CLIs, batch) executes its tasks through:
+// singleflight in-flight deduplication, an in-memory LRU fronting an
+// optional on-disk result store keyed <kind>/<hash>.json, and per-kind
+// hit/miss statistics. Results are pure functions of their canonical
+// parameters, so stored bytes never go stale.
+type Engine = engine.Engine
+
+// EngineOptions sizes an Engine: the in-memory entry bound and the
+// optional persistent store directory.
+type EngineOptions = engine.Options
+
+// EngineTask is one deterministic unit of compute: a kind, a canonical
+// parameter hash, and a Run producing a JSON-marshallable result.
+type EngineTask = engine.Task
+
+// EngineResult is one engine execution's outcome: the stored bytes and
+// the tier that served them ("miss" = computed, "hit" = memory, "disk",
+// "inflight").
+type EngineResult = engine.Result
+
+// BatchItem is one request of a heterogeneous batch: a registered task
+// kind plus raw JSON parameters.
+type BatchItem = engine.BatchItem
+
+// BatchResult is one batch item's outcome, in request order.
+type BatchResult = engine.BatchResult
+
+// Registered task kinds for BatchItem.Kind (the same spellings POST
+// /v1/batch accepts).
+const (
+	TaskKindCapacity       = tasks.KindCapacity
+	TaskKindOperatingPoint = tasks.KindOperatingPoint
+	TaskKindOverhead       = tasks.KindOverhead
+	TaskKindSim            = tasks.KindSim
+	TaskKindSweep          = tasks.KindSweep
+	TaskKindSweepCell      = tasks.KindSweepCell
+	TaskKindDVFSRun        = tasks.KindDVFSRun
+	TaskKindDVFSExplore    = tasks.KindDVFSExplore
+)
+
+// NewEngine builds a compute engine; pass a Dir to persist results
+// across processes (the same store layout vccmin-serve keeps under its
+// data directory).
+func NewEngine(opts EngineOptions) (*Engine, error) { return engine.New(opts) }
+
+// BatchRun executes a heterogeneous list of task requests through the
+// engine — every kind the service registers — answering in request
+// order with shared deduplication. Per-item failures land in that
+// item's Error and never fail the batch.
+func BatchRun(ctx context.Context, e *Engine, items []BatchItem) []BatchResult {
+	return engine.RunBatch(ctx, e, items, 0)
+}
 
 // ---- Serving ----
 

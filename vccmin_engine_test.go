@@ -1,0 +1,52 @@
+package vccmin_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"vccmin"
+)
+
+// TestFacadeBatchRun drives the facade's engine surface end to end: a
+// heterogeneous batch, intra-batch deduplication, and persistence of
+// results across engine restarts through a shared store directory.
+func TestFacadeBatchRun(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := vccmin.NewEngine(vccmin.EngineOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []vccmin.BatchItem{
+		{Kind: vccmin.TaskKindCapacity, Params: json.RawMessage(`{"pfail":0.001}`)},
+		{Kind: vccmin.TaskKindOverhead},
+		{Kind: vccmin.TaskKindCapacity, Params: json.RawMessage(`{"pfail":0.001,"workers":4}`)},
+		{Kind: vccmin.TaskKindOperatingPoint, Params: json.RawMessage(`{"min_performance":0.5}`)},
+	}
+	out := vccmin.BatchRun(context.Background(), eng, items)
+	if len(out) != 4 {
+		t.Fatalf("got %d results", len(out))
+	}
+	for i, r := range out {
+		if r.Error != "" {
+			t.Fatalf("item %d: %s", i, r.Error)
+		}
+	}
+	// The worker knob is scheduling-only: items 0 and 2 share identity.
+	if out[0].Hash != out[2].Hash || string(out[0].Value) != string(out[2].Value) {
+		t.Fatal("worker-only difference must deduplicate")
+	}
+
+	// A fresh engine over the same directory replays from disk.
+	eng2, err := vccmin.NewEngine(vccmin.EngineOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := vccmin.BatchRun(context.Background(), eng2, items[:1])
+	if out2[0].Source != "disk" {
+		t.Fatalf("post-restart source %q, want disk", out2[0].Source)
+	}
+	if string(out2[0].Value) != string(out[0].Value) {
+		t.Fatal("restarted engine replayed different bytes")
+	}
+}
