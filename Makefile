@@ -5,7 +5,7 @@ COVER_FLOOR ?= 75
 # Per-target budget for the `make fuzz` smoke run.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-json bench-gate fmt vet doc-check link-check check fuzz cover serve sweep-demo ci
+.PHONY: build test race bench bench-json bench-gate fmt vet doc-check link-check api-check check fuzz cover serve sweep-demo loadgen-smoke ci
 
 build:
 	$(GO) build ./...
@@ -61,8 +61,13 @@ doc-check:
 link-check:
 	$(GO) run ./internal/tools/linkcheck
 
+# The registered /v1 routes and docs/openapi.yaml must list exactly the
+# same method+path pairs.
+api-check:
+	$(GO) run ./internal/tools/apicheck
+
 # The static quality gate CI runs before the test jobs.
-check: vet fmt doc-check link-check
+check: vet fmt doc-check link-check api-check
 
 # Short fuzz smoke over the checkpoint readers (go test allows one fuzz
 # target per invocation, hence two runs).
@@ -95,4 +100,11 @@ sweep-demo:
 		-trials 2 -instructions 20000 -resume -out /tmp/sweep-demo.jsonl
 	$(GO) run ./cmd/vccmin-sweep -summarize /tmp/sweep-demo.jsonl
 
-ci: build check race bench sweep-demo cover
+# Mixed-traffic replay against a self-hosted service: open-loop
+# arrivals, latency histograms, 429/503 accounting. The bench-format
+# output merges into a snapshot via `vccmin-bench -extra`.
+loadgen-smoke:
+	$(GO) run ./cmd/vccmin-loadgen -self -rate 200 -requests 600 \
+		-json loadgen-smoke.json -bench-out loadgen-smoke.txt
+
+ci: build check race bench sweep-demo loadgen-smoke cover

@@ -51,6 +51,7 @@ type config struct {
 	write     bool    // record the next BENCH_<n>.json in dir
 	out       string  // record to this exact path
 	input     string  // parse an existing bench log instead of running
+	extra     string  // comma-separated extra bench logs merged into the snapshot
 	gate      bool    // exit non-zero on regression
 }
 
@@ -66,6 +67,7 @@ func main() {
 	flag.BoolVar(&cfg.write, "write", false, "record the run as the next BENCH_<n>.json in -dir")
 	flag.StringVar(&cfg.out, "out", "", "record the run to this exact path (independent of -write numbering)")
 	flag.StringVar(&cfg.input, "input", "", "parse this `go test -bench` output file instead of running benchmarks")
+	flag.StringVar(&cfg.extra, "extra", "", "comma-separated extra bench-format logs merged into the snapshot (e.g. vccmin-loadgen -bench-out)")
 	flag.BoolVar(&cfg.gate, "gate", true, "exit non-zero when a benchmark regresses past -threshold")
 	version := clirun.VersionFlag()
 	flag.Parse()
@@ -113,6 +115,34 @@ func run(cfg config) error {
 	}
 	if len(benches) == 0 {
 		return fmt.Errorf("no benchmark results matched (bench regex %q)", cfg.bench)
+	}
+
+	// Extra logs (e.g. a vccmin-loadgen -bench-out capture) ride along in
+	// the snapshot. Their names never appear in a plain smoke run, so the
+	// gate's name intersection leaves them as informational baseline-only
+	// entries on later runs — recorded, compared when present, never a
+	// spurious failure.
+	if cfg.extra != "" {
+		for _, path := range strings.Split(cfg.extra, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			more, err := benchreg.ParseBenchOutput(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("parsing -extra %s: %w", path, err)
+			}
+			if len(more) == 0 {
+				return fmt.Errorf("-extra %s held no benchmark result lines", path)
+			}
+			benches = append(benches, more...)
+			command += "; merged " + path
+		}
 	}
 	snap := &benchreg.Snapshot{
 		SchemaVersion: benchreg.SchemaVersion,

@@ -1,0 +1,214 @@
+// Command vccmin-loadgen replays a mixed-traffic workload against the
+// vccmin service at a fixed open-loop arrival rate and reports
+// per-endpoint latency histograms plus the traffic-hardening outcomes
+// (2xx answered, 429 rate-limited, 503 shed). Open loop means arrivals
+// never slow down for a struggling server, so saturation — and the
+// admission control's response to it — shows up in the numbers instead
+// of hiding in client back-pressure.
+//
+// Point it at a running server, or let it host one in-process:
+//
+//	vccmin-loadgen -base http://127.0.0.1:8780 -rate 200 -requests 2000
+//	vccmin-loadgen -self -rate 300 -requests 1500 -bench-out loadgen.txt
+//
+// -self starts the full service on a loopback port with a throwaway
+// data directory, runs the workload and tears it down — the hermetic
+// mode CI uses. -bench-out writes `go test -bench`-format result lines
+// that `vccmin-bench -extra` merges into a BENCH_<n>.json snapshot;
+// -json writes the full report with histogram buckets.
+//
+// The endpoint mix defaults to loadgen.DefaultMix (analytics GETs, a
+// sim POST, a sweep enqueue, a stats probe); -mix reweights it, e.g.
+// -mix capacity=8,sim=2 drops every other endpoint and splits traffic
+// 80/20.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"vccmin/internal/clirun"
+	"vccmin/internal/loadgen"
+	"vccmin/internal/service"
+)
+
+func main() {
+	var (
+		base     = flag.String("base", "", "base URL of a running service (e.g. http://127.0.0.1:8780)")
+		self     = flag.Bool("self", false, "host the service in-process on a loopback port with a throwaway data dir")
+		rate     = flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
+		requests = flag.Int("requests", 1000, "total requests to launch")
+		mixSpec  = flag.String("mix", "", "reweight the endpoint mix: name=weight[,name=weight...] (names from the default mix; unlisted names drop out)")
+		seed     = flag.Int64("seed", 1, "endpoint-pick PRNG seed")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		apiKey   = flag.String("api-key", "", "X-API-Key sent with every request (the rate limiter's client key)")
+		jsonOut  = flag.String("json", "", "write the full JSON report (with histogram buckets) to this file")
+		benchOut = flag.String("bench-out", "", "write go test -bench format result lines to this file (for vccmin-bench -extra)")
+		selfRate = flag.Float64("self-rate-limit", 0, "with -self: per-client rate limit of the hosted service (0 disables)")
+		selfShed = flag.Int("self-shed-watermark", 0, "with -self: admission watermark of the hosted service (0 = default)")
+		version  = clirun.VersionFlag()
+	)
+	flag.Parse()
+	if clirun.HandleVersion(version) {
+		return
+	}
+	if err := run(*base, *self, *rate, *requests, *mixSpec, *seed, *timeout, *apiKey,
+		*jsonOut, *benchOut, *selfRate, *selfShed); err != nil {
+		fmt.Fprintln(os.Stderr, "vccmin-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(base string, self bool, rate float64, requests int, mixSpec string, seed int64,
+	timeout time.Duration, apiKey, jsonOut, benchOut string, selfRate float64, selfShed int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if self == (base != "") {
+		return fmt.Errorf("exactly one of -base and -self is required")
+	}
+	if self {
+		url, shutdown, err := startSelf(selfRate, selfShed)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		base = url
+		fmt.Fprintln(os.Stderr, "vccmin-loadgen: self-hosted service at", base)
+	}
+
+	mix, err := buildMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:  base,
+		Mix:      mix,
+		Rate:     rate,
+		Requests: requests,
+		Timeout:  timeout,
+		Seed:     seed,
+		APIKey:   apiKey,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Summary(os.Stderr)
+
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", jsonOut)
+	}
+	if benchOut != "" {
+		f, err := os.Create(benchOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteBenchFormat(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", benchOut)
+	} else {
+		rep.WriteBenchFormat(os.Stdout)
+	}
+	return nil
+}
+
+// buildMix returns the default mix, reweighted by a
+// "name=weight,name=weight" spec: listed endpoints get the given
+// weight, unlisted ones drop out. An empty spec keeps the default.
+func buildMix(spec string) ([]loadgen.Endpoint, error) {
+	mix := loadgen.DefaultMix()
+	if spec == "" {
+		return mix, nil
+	}
+	weights := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want name=weight)", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		weights[name] = w
+	}
+	var out []loadgen.Endpoint
+	for _, e := range mix {
+		if w, ok := weights[e.Name]; ok {
+			e.Weight = w
+			out = append(out, e)
+			delete(weights, e.Name)
+		}
+	}
+	for name := range weights {
+		return nil, fmt.Errorf("unknown -mix endpoint %q (known: %s)", name, mixNames(mix))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-mix selected no endpoints")
+	}
+	return out, nil
+}
+
+func mixNames(mix []loadgen.Endpoint) string {
+	names := make([]string, len(mix))
+	for i, e := range mix {
+		names[i] = e.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// startSelf hosts the full service on a loopback port over a throwaway
+// data directory and returns its base URL plus a teardown.
+func startSelf(rateLimit float64, shedWatermark int) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "vccmin-loadgen-*")
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := service.New(service.Config{
+		DataDir:       dir,
+		RateLimit:     rateLimit,
+		ShedWatermark: shedWatermark,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Close()
+		os.RemoveAll(dir)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

@@ -12,6 +12,14 @@
 //
 //	vccmin-serve -addr :8780 -data ./serve-data -workers 2
 //
+// Traffic hardening is on by default: per-client token-bucket rate
+// limiting (-rate-limit, 429 + Retry-After when over; 0 disables) and
+// admission control that sheds batch-shaped work with 503 once the
+// backlog crosses -shed-watermark, while synchronous endpoints keep
+// flowing on their own worker tier (-interactive-workers). Sweep rows
+// stream live from GET /v1/sweeps/<id>/stream (SSE with Last-Event-ID
+// resume, or ?format=jsonl).
+//
 // SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight jobs
 // drain up to -drain-timeout, and anything still running is checkpointed
 // for the next start.
@@ -20,6 +28,7 @@
 //
 //	curl 'localhost:8780/v1/capacity?pfail=1e-3'
 //	curl -X POST localhost:8780/v1/sweeps -d '{"pfails":[0.001],"schemes":["block"]}'
+//	curl -N 'localhost:8780/v1/sweeps/<id>/stream?format=jsonl'
 package main
 
 import (
@@ -41,6 +50,10 @@ func main() {
 		addr       = flag.String("addr", ":8780", "listen address")
 		data       = flag.String("data", "vccmin-serve-data", "directory for sweep-job specs, row checkpoints and the engine result store")
 		workers    = flag.Int("workers", 2, "concurrently running sweep jobs")
+		iworkers   = flag.Int("interactive-workers", 0, "workers reserved for synchronous endpoints (0 = GOMAXPROCS)")
+		rateLimit  = flag.Float64("rate-limit", 50, "per-client requests/second budget (0 disables rate limiting)")
+		rateBurst  = flag.Float64("rate-burst", 0, "per-client token-bucket depth (0 = 2x rate-limit)")
+		watermark  = flag.Int("shed-watermark", 64, "queued batch items beyond which new batch work is shed with 503")
 		cache      = flag.Int("cache", 512, "in-memory result-tier entries for synchronous endpoints")
 		maxGrid    = flag.Int("max-grid", 4096, "largest accepted sweep grid (cells)")
 		maxBatch   = flag.Int("max-batch", 64, "largest accepted POST /v1/batch request (items)")
@@ -60,15 +73,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "vccmin-serve: %s listening on %s, data in %s\n",
 		buildinfo.String(), *addr, *data)
 	err := service.Serve(ctx, service.Config{
-		Addr:              *addr,
-		DataDir:           *data,
-		Workers:           *workers,
-		CacheEntries:      *cache,
-		MaxGridCells:      *maxGrid,
-		MaxBatchItems:     *maxBatch,
-		DrainTimeout:      *drain,
-		ReadHeaderTimeout: *hdrTimeout,
-		MaxHeaderBytes:    *maxHeader,
+		Addr:               *addr,
+		DataDir:            *data,
+		Workers:            *workers,
+		InteractiveWorkers: *iworkers,
+		RateLimit:          *rateLimit,
+		RateBurst:          *rateBurst,
+		ShedWatermark:      *watermark,
+		CacheEntries:       *cache,
+		MaxGridCells:       *maxGrid,
+		MaxBatchItems:      *maxBatch,
+		DrainTimeout:       *drain,
+		ReadHeaderTimeout:  *hdrTimeout,
+		MaxHeaderBytes:     *maxHeader,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vccmin-serve:", err)

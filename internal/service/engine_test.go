@@ -53,7 +53,7 @@ func TestMethodNotAllowed(t *testing.T) {
 			t.Errorf("%s %s: Allow %q, want %q", c.method, c.path, allow, c.wantAllow)
 		}
 		var env errorEnvelope
-		if err := json.Unmarshal(body, &env); err != nil || env.Error.Status != 405 {
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != ErrCodeMethodNotAllowed {
 			t.Errorf("%s %s: body %q is not the 405 envelope", c.method, c.path, body)
 		}
 	}

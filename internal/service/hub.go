@@ -1,0 +1,51 @@
+package service
+
+import "sync"
+
+// hub is the per-job broadcast layer under the streaming endpoint: the
+// sweep row writer notifies it after every flushed row (and at every
+// job state change), and any number of stream handlers wait on it for
+// "something happened to job <id>" wake-ups. It carries no row data —
+// the in-order JSONL checkpoint file is the single source of truth the
+// readers tail — so a notification can never be lost, reordered or
+// partially delivered: waking up and re-reading the file is always
+// correct, and a spurious wake-up costs one empty read.
+//
+// The broadcast primitive is a channel per job that notify closes and
+// replaces. A subscriber grabs the current channel BEFORE reading the
+// file; any append that happens after its read closes that same
+// channel, so the subscriber can never sleep through a row.
+type hub struct {
+	mu     sync.Mutex
+	topics map[string]chan struct{}
+}
+
+func newHub() *hub {
+	return &hub{topics: make(map[string]chan struct{})}
+}
+
+// watch returns the job's current broadcast channel; it is closed at
+// the next notify for that job.
+func (h *hub) watch(id string) <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.topics[id]
+	if !ok {
+		ch = make(chan struct{})
+		h.topics[id] = ch
+	}
+	return ch
+}
+
+// notify wakes every watcher of the job by closing the current channel
+// and installing a fresh one. Notifying a job nobody watches only costs
+// the map lookup; the table holds at most one small entry per job ever
+// watched or notified, the same order as the job table itself.
+func (h *hub) notify(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ch, ok := h.topics[id]; ok {
+		close(ch)
+	}
+	h.topics[id] = make(chan struct{})
+}

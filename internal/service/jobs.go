@@ -91,10 +91,13 @@ func (j *job) update(f func(*JobSnapshot)) {
 }
 
 // Manager owns the job table and the on-disk checkpoints; execution
-// runs on the engine's bounded worker pool.
+// runs on the batch tier of the engine's two-tier worker pool, and the
+// hub broadcasts per-job progress to the streaming endpoint's
+// subscribers.
 type Manager struct {
 	dir  string
 	pool *engine.Pool
+	hub  *hub
 	now  func() time.Time
 
 	mu   sync.RWMutex
@@ -103,10 +106,19 @@ type Manager struct {
 	dedupHits atomic.Uint64
 }
 
-// NewManager starts a worker pool over the data directory, creating it
-// if needed, re-registering finished jobs and re-enqueueing unfinished
-// ones found there.
+// NewManager starts a batch-only worker pool over the data directory,
+// creating it if needed, re-registering finished jobs and re-enqueueing
+// unfinished ones found there.
 func NewManager(dir string, workers int) (*Manager, error) {
+	return NewManagerTiered(dir, workers, 0, 0)
+}
+
+// NewManagerTiered is NewManager over a two-tier pool: batchWorkers
+// dual workers run sweep jobs (and may serve interactive work when
+// idle), while interactiveWorkers additional workers are reserved for
+// the interactive tier the service's synchronous endpoints submit to —
+// so saturating the sweep queue can never starve a sync request.
+func NewManagerTiered(dir string, batchWorkers, interactiveWorkers, interactiveBacklog int) (*Manager, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("service: job manager needs a data directory")
 	}
@@ -119,9 +131,10 @@ func NewManager(dir string, workers int) (*Manager, error) {
 	}
 	m := &Manager{
 		dir: dir,
-		// The backlog holds every recovered job plus fresh headroom, so
-		// recovery can never block on a full queue.
-		pool: engine.NewPool(workers, len(specs)+1024),
+		// The batch backlog holds every recovered job plus fresh headroom,
+		// so recovery can never block on a full queue.
+		pool: engine.NewTieredPool(interactiveWorkers, batchWorkers, interactiveBacklog, len(specs)+1024),
+		hub:  newHub(),
 		now:  time.Now,
 		jobs: make(map[string]*job),
 	}
@@ -131,6 +144,14 @@ func NewManager(dir string, workers int) (*Manager, error) {
 	}
 	return m, nil
 }
+
+// Pool exposes the manager's two-tier worker pool; the service submits
+// its synchronous compute on the interactive tier.
+func (m *Manager) Pool() *engine.Pool { return m.pool }
+
+// BatchBacklog returns the number of queued (not yet running) batch
+// items — the admission watermark's input.
+func (m *Manager) BatchBacklog() int64 { return m.pool.QueuedTier(engine.TierBatch) }
 
 // recover walks the spec files found in the data directory: jobs with a
 // done or failed marker are re-registered in that terminal state, the
@@ -258,13 +279,15 @@ func (m *Manager) failedPath(id string) string { return filepath.Join(m.dir, id+
 
 // run executes one job through the checkpointed resume path, so an
 // interrupted execution is recoverable cell-for-cell. ctx is the worker
-// pool's context; Close cancels it.
+// pool's context; Close cancels it. Every flushed row and every status
+// change notifies the hub, waking the job's stream subscribers.
 func (m *Manager) run(ctx context.Context, j *job) {
 	started := m.now().UTC()
 	j.update(func(s *JobSnapshot) {
 		s.Status = JobRunning
 		s.StartedAt = &started
 	})
+	m.hub.notify(j.id)
 	res, err := sweep.ResumeFile(j.spec, m.RowsPath(j.id), sweep.RunOptions{
 		Context: ctx,
 		OnProgress: func(p sweep.Progress) {
@@ -274,6 +297,7 @@ func (m *Manager) run(ctx context.Context, j *job) {
 				s.Skipped = p.Skipped
 				s.Computed = p.Flushed
 			})
+			m.hub.notify(j.id)
 		},
 	})
 	finished := m.now().UTC()
@@ -311,6 +335,9 @@ func (m *Manager) run(ctx context.Context, j *job) {
 			j.update(func(s *JobSnapshot) { s.Error += "; failed marker: " + werr.Error() })
 		}
 	}
+	// The final wake-up: subscribers re-read the snapshot, drain the
+	// checkpoint's tail and close their streams on the terminal states.
+	m.hub.notify(j.id)
 }
 
 // Drain stops accepting new jobs and waits for the queue to empty and the

@@ -7,23 +7,36 @@
 // engine.Engine: an in-memory LRU fronting a content-addressed on-disk
 // store (surviving restarts alongside the sweep checkpoints), with
 // singleflight deduplication of concurrent identical requests. Sweeps
-// additionally run as async jobs with checkpoint/resume.
+// additionally run as async jobs with checkpoint/resume, and their rows
+// stream live over SSE as they flush.
 //
-// Endpoints (all JSON; errors use the {"error":{"status","message"}}
-// envelope; wrong methods get 405 with an Allow header):
+// Traffic hardening: every request passes a per-client token-bucket
+// rate limiter (X-API-Key header or remote IP; 429 + Retry-After when
+// over), synchronous compute runs on the interactive tier of a
+// two-tier worker pool so queued batch work can never starve it, and
+// batch-shaped work (sweep jobs, POST /v1/batch) is shed with 503 +
+// Retry-After once the batch backlog crosses the admission watermark —
+// the service keeps delivering useful work at a degraded operating
+// point instead of stalling, exactly the paper's thesis applied to
+// serving.
 //
-//	GET  /v1/healthz                 liveness
-//	GET  /v1/stats                   build version, per-kind engine stats, cache and job counters
+// Endpoints (all JSON; errors use the versioned
+// {"error":{"code","message","details"}} envelope; wrong methods get
+// 405 with an Allow header):
+//
+//	GET  /v1/healthz                 liveness (never rate limited)
+//	GET  /v1/stats                   build version, engine/pool/limiter/job counters
 //	GET  /v1/capacity                Eq. 1-6 analytics (+ optional Monte Carlo check)
 //	GET  /v1/operating-point         Fig. 1 model at a pfail or performance floor
 //	GET  /v1/overhead                Table I transistor rows
 //	GET  /v1/dvfs                    phase-aware DVFS Pareto explorer
 //	POST /v1/sim                     one simulation run, synchronous
-//	POST /v1/batch                   heterogeneous task list, shared dedup, answered in order
+//	POST /v1/batch                   heterogeneous task list, batch tier, sheddable
 //	POST /v1/sweeps                  enqueue a sweep job (202; idempotent by spec hash)
-//	GET  /v1/sweeps                  list jobs
+//	GET  /v1/sweeps                  list jobs (?offset=&limit=, X-Total-Count)
 //	GET  /v1/sweeps/{id}             job status and progress
-//	GET  /v1/sweeps/{id}/rows        the job's JSONL rows, streamed
+//	GET  /v1/sweeps/{id}/rows        the job's JSONL rows (?offset=&limit=, X-Total-Count)
+//	GET  /v1/sweeps/{id}/stream      live rows: SSE with resume, or ?format=jsonl
 //
 // Determinism is what makes the serving layer simple: every result is a
 // pure function of the request (seeds derive from parameters), so
@@ -35,16 +48,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
+	"math"
+	"net"
 	"net/http"
-	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"vccmin/internal/buildinfo"
 	"vccmin/internal/engine"
+	"vccmin/internal/limit"
 	"vccmin/internal/tasks"
 )
 
@@ -59,9 +75,33 @@ type Config struct {
 	// Default "vccmin-serve-data".
 	DataDir string
 
-	// Workers bounds concurrently running sweep jobs; default 2. Cell
-	// parallelism inside a job is the spec's own Workers field.
+	// Workers bounds concurrently running sweep jobs (the pool's batch
+	// tier); default 2. Cell parallelism inside a job is the spec's own
+	// Workers field.
 	Workers int
+
+	// InteractiveWorkers are additional pool workers reserved for the
+	// synchronous endpoints' compute, so sweep saturation never starves
+	// them; default GOMAXPROCS (at least 2).
+	InteractiveWorkers int
+
+	// InteractiveBacklog bounds queued synchronous compute; submissions
+	// beyond it are shed with 503. Default 256.
+	InteractiveBacklog int
+
+	// ShedWatermark is the admission threshold: once this many batch
+	// items (sweep jobs, batch requests) are queued and not yet running,
+	// new batch-shaped work is shed with 503 + Retry-After while
+	// interactive endpoints keep flowing. Default 64.
+	ShedWatermark int
+
+	// RateLimit is the per-client request budget in requests per second
+	// (clients are keyed by X-API-Key, falling back to remote IP).
+	// Zero disables rate limiting.
+	RateLimit float64
+
+	// RateBurst is the token-bucket depth; default 2×RateLimit.
+	RateBurst float64
 
 	// CacheEntries bounds the engine's in-memory result tier; default 512.
 	CacheEntries int
@@ -92,6 +132,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 2
+	}
+	if c.InteractiveWorkers <= 0 {
+		c.InteractiveWorkers = runtime.GOMAXPROCS(0)
+		if c.InteractiveWorkers < 2 {
+			c.InteractiveWorkers = 2
+		}
+	}
+	if c.InteractiveBacklog <= 0 {
+		c.InteractiveBacklog = 256
+	}
+	if c.ShedWatermark <= 0 {
+		c.ShedWatermark = 64
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 512
@@ -133,18 +185,24 @@ type (
 	DVFSResponse = tasks.DVFSResponse
 )
 
-// Server routes the API over the compute engine and the sweep-job
-// manager.
+// Server routes the API over the compute engine, the sweep-job manager
+// and the traffic-hardening layers (rate limiter, admission control).
 type Server struct {
-	cfg  Config
-	jobs *Manager
-	eng  *engine.Engine
-	mux  *http.ServeMux
+	cfg     Config
+	jobs    *Manager
+	eng     *engine.Engine
+	mux     *http.ServeMux
+	handler http.Handler
+	limiter *limit.Limiter // nil when rate limiting is disabled
+
+	rateLimited atomic.Uint64 // requests answered 429
+	shed        atomic.Uint64 // requests answered 503 by admission control
 }
 
 // New builds a server: the compute engine over <DataDir>/results (so
-// previously computed results replay across restarts) and the job
-// manager over the sweep checkpoints in DataDir.
+// previously computed results replay across restarts), the job manager
+// and two-tier pool over the sweep checkpoints in DataDir, and the
+// per-client rate limiter when cfg.RateLimit is set.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	eng, err := engine.New(engine.Options{
@@ -154,12 +212,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	jobs, err := NewManager(cfg.DataDir, cfg.Workers)
+	jobs, err := NewManagerTiered(cfg.DataDir, cfg.Workers, cfg.InteractiveWorkers, cfg.InteractiveBacklog)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, jobs: jobs, eng: eng, mux: http.NewServeMux()}
+	if cfg.RateLimit > 0 {
+		s.limiter = limit.New(cfg.RateLimit, cfg.RateBurst)
+	}
 	s.routes()
+	s.handler = s.withTraffic(s.mux)
 	return s, nil
 }
 
@@ -184,6 +246,7 @@ func (s *Server) routes() {
 		{"GET", "/v1/sweeps", s.handleSweepList},
 		{"GET", "/v1/sweeps/{id}", s.handleSweepGet},
 		{"GET", "/v1/sweeps/{id}/rows", s.handleSweepRows},
+		{"GET", "/v1/sweeps/{id}/stream", s.handleSweepStream},
 	}
 	allowed := map[string][]string{}
 	for _, r := range table {
@@ -200,8 +263,56 @@ func (s *Server) routes() {
 	}
 }
 
-// Handler returns the routed HTTP handler (for httptest and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// withTraffic wraps the router with the per-client rate limiter.
+// Liveness probes are exempt — an orchestrator must always be able to
+// ask "are you up" — and everything else spends one token per request,
+// streaming connections included.
+func (s *Server) withTraffic(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter != nil && r.URL.Path != "/v1/healthz" {
+			if ok, retryAfter := s.limiter.Allow(clientKey(r)); !ok {
+				s.rateLimited.Add(1)
+				secs := retryAfterSeconds(retryAfter)
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeError(w, http.StatusTooManyRequests, "rate_limited", map[string]any{
+					"retry_after_seconds": secs,
+					"limit_per_second":    s.limiter.Rate(),
+					"burst":               s.limiter.Burst(),
+				}, "rate limit exceeded: %g requests/s per client (burst %g)", s.limiter.Rate(), s.limiter.Burst())
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies the requester for rate limiting: the X-API-Key
+// header when present (so keyed clients are limited per key wherever
+// they connect from), else the remote IP.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "ip:" + r.RemoteAddr
+	}
+	return "ip:" + host
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds, at least 1 —
+// the granularity the Retry-After header speaks.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Handler returns the routed HTTP handler, wrapped with the traffic
+// layers (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Jobs exposes the job manager (for embedding and tests).
 func (s *Server) Jobs() *Manager { return s.jobs }
@@ -255,24 +366,71 @@ func Serve(ctx context.Context, cfg Config) error {
 
 // ---- Error envelope and JSON helpers ----
 
-type errorEnvelope struct {
-	Error struct {
-		Status  int    `json:"status"`
-		Message string `json:"message"`
-	} `json:"error"`
+// apiError is the one versioned error shape every /v1 route emits:
+// a stable machine-readable code, a human message, and optional
+// structured details (e.g. the retry budget on 429/503).
+type apiError struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// Stable error codes. Every handler reports failures through these —
+// clients branch on the code, never on message text.
+const (
+	ErrCodeInvalidRequest   = "invalid_request"
+	ErrCodeNotFound         = "not_found"
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	ErrCodeRateLimited      = "rate_limited"
+	ErrCodeOverloaded       = "overloaded" // shed by admission control; retry later
+	ErrCodeDraining         = "draining"   // shutting down; retry against a peer
+	ErrCodeUnavailable      = "unavailable"
+	ErrCodeInternal         = "internal"
+)
+
+// writeError is the single emitter of the error envelope: every error
+// response on every /v1 route funnels through it, so the shape can
+// never drift per handler.
+func writeError(w http.ResponseWriter, status int, code string, details map[string]any, format string, args ...any) {
 	var env errorEnvelope
-	env.Error.Status = status
+	env.Error.Code = code
 	env.Error.Message = fmt.Sprintf(format, args...)
+	env.Error.Details = details
 	writeJSON(w, status, env)
+}
+
+// writeErr is writeError with the code derived from the status — the
+// common case for handlers without structured details.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeError(w, status, codeForStatus(status), nil, format, args...)
+}
+
+// codeForStatus maps an HTTP status onto its default envelope code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return ErrCodeInvalidRequest
+	case http.StatusNotFound:
+		return ErrCodeNotFound
+	case http.StatusMethodNotAllowed:
+		return ErrCodeMethodNotAllowed
+	case http.StatusTooManyRequests:
+		return ErrCodeRateLimited
+	case http.StatusServiceUnavailable:
+		return ErrCodeUnavailable
+	default:
+		return ErrCodeInternal
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, `{"error":{"status":500,"message":"encoding response"}}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":{"code":"internal","message":"encoding response"}}`, http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -280,15 +438,70 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(b, '\n'))
 }
 
-// runTask executes one task through the engine and writes its stored
-// bytes, with X-Cache reporting which tier answered ("miss" = computed
-// now, "hit" = memory, "disk" = the on-disk store, e.g. after a
-// restart, "inflight" = deduplicated onto a concurrent identical
-// request). Task errors are never cached; bad-input errors answer 400,
-// while internal encode failures are 500 and the requester's own
-// cancellation 503 (retryable, not a client mistake).
+// ---- Pool-routed execution ----
+
+// shed503 answers a request rejected by admission control: 503 with a
+// Retry-After hint and the overloaded/draining code, so well-behaved
+// clients back off instead of hammering a saturated pool.
+func (s *Server) shed503(w http.ResponseWriter, code string, details map[string]any, format string, args ...any) {
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, code, details, format, args...)
+}
+
+// submitWait runs work on the pool's given tier and waits for it — or
+// for the request context. The work's context is the request context
+// capped by the pool's lifetime, so a disconnected client cancels its
+// compute and a closing pool cancels every request.
+func (s *Server) submitWait(ctx context.Context, tier engine.Tier, work func(context.Context)) error {
+	done := make(chan struct{})
+	err := s.jobs.Pool().SubmitTier(tier, func(poolCtx context.Context) {
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stop := context.AfterFunc(poolCtx, cancel)
+		defer stop()
+		work(runCtx)
+		close(done)
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runTask executes one task on the pool's interactive tier through the
+// engine and writes its stored bytes, with X-Cache reporting which tier
+// answered ("miss" = computed now, "hit" = memory, "disk" = the on-disk
+// store, e.g. after a restart, "inflight" = deduplicated onto a
+// concurrent identical request). Task errors are never cached;
+// bad-input errors answer 400, internal encode failures 500, the
+// requester's own cancellation 503, and a full interactive queue is
+// shed with 503 + Retry-After.
 func (s *Server) runTask(w http.ResponseWriter, r *http.Request, t engine.Task) {
-	res, err := s.eng.Do(r.Context(), t)
+	var (
+		res engine.Result
+		err error
+	)
+	serr := s.submitWait(r.Context(), engine.TierInteractive, func(ctx context.Context) {
+		res, err = s.eng.Do(ctx, t)
+	})
+	switch {
+	case errors.Is(serr, engine.ErrPoolFull):
+		s.shed503(w, ErrCodeOverloaded, map[string]any{"queue": "interactive"},
+			"interactive queue full; retry shortly")
+		return
+	case errors.Is(serr, engine.ErrPoolDraining):
+		s.shed503(w, ErrCodeDraining, nil, "shutting down; retry against another node")
+		return
+	case serr != nil:
+		writeErr(w, http.StatusServiceUnavailable, "%s", serr)
+		return
+	}
 	switch {
 	case errors.Is(err, engine.ErrEncoding):
 		writeErr(w, http.StatusInternalServerError, "%s", err)
@@ -342,25 +555,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // Stats is the /v1/stats response: the running build, the engine's
-// per-kind counters, the memory tier's aggregate view and the job
-// counters.
+// per-kind counters, the memory tier's aggregate view, the pool and
+// traffic-hardening counters and the job counters.
 type Stats struct {
 	Version string                      `json:"version"`
 	Cache   CacheStats                  `json:"cache"`
 	Engine  map[string]engine.KindStats `json:"engine"`
+	Pool    engine.PoolStats            `json:"pool"`
+	Traffic TrafficStats                `json:"traffic"`
+	Limit   *limit.Stats                `json:"rate_limit,omitempty"`
 	Jobs    JobStats                    `json:"jobs"`
+}
+
+// TrafficStats counts requests rejected by the hardening layers.
+type TrafficStats struct {
+	RateLimited uint64 `json:"rate_limited"` // answered 429
+	Shed        uint64 `json:"shed"`         // answered 503 by admission control
 }
 
 // CacheStats is the memory tier's aggregate counters.
 type CacheStats = engine.CacheStats
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Stats{
+	st := Stats{
 		Version: buildinfo.String(),
 		Cache:   s.eng.MemStats(),
 		Engine:  s.eng.Stats(),
+		Pool:    s.jobs.Pool().Stats(),
+		Traffic: TrafficStats{RateLimited: s.rateLimited.Load(), Shed: s.shed.Load()},
 		Jobs:    s.jobs.stats(),
-	})
+	}
+	if s.limiter != nil {
+		ls := s.limiter.Stats()
+		st.Limit = &ls
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
@@ -455,6 +684,10 @@ type BatchResponse struct {
 	Results []engine.BatchResult `json:"results"`
 }
 
+// handleBatch runs the request on the pool's batch tier: it queues
+// behind sweep jobs rather than crowd out interactive endpoints, and
+// admission control sheds it outright once the batch backlog crosses
+// the watermark.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := decodeBody(w, r, &req); err != nil {
@@ -470,32 +703,52 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			len(req.Requests), s.cfg.MaxBatchItems)
 		return
 	}
+	if backlog := s.jobs.BatchBacklog(); backlog >= int64(s.cfg.ShedWatermark) {
+		s.shed503(w, ErrCodeOverloaded, map[string]any{
+			"batch_backlog": backlog, "watermark": s.cfg.ShedWatermark,
+		}, "batch tier saturated (%d queued >= watermark %d); retry later", backlog, s.cfg.ShedWatermark)
+		return
+	}
 	// Gate grid- and scale-shaped tasks before any simulation runs,
 	// mirroring the sync endpoints' limits; a rejected item's error
 	// lands in its own slot, so one oversized request cannot fail its
 	// siblings.
-	results := engine.RunBatchFiltered(r.Context(), s.eng, req.Requests, 0, func(t engine.Task) error {
-		switch tt := t.(type) {
-		case tasks.DVFSExploreTask:
-			if n := tt.GridCells(); n > maxDVFSCells {
-				return fmt.Errorf("grid has %d cells, limit %d", n, maxDVFSCells)
-			}
-			if tt.Spec.Scale > maxDVFSScale {
-				return fmt.Errorf("scale %d out of [0,%d]", tt.Spec.Scale, maxDVFSScale)
-			}
-		case tasks.DVFSRunTask:
-			if tt.Req.Scale > maxDVFSScale {
-				return fmt.Errorf("scale %d out of [0,%d]", tt.Req.Scale, maxDVFSScale)
-			}
-		default:
-			if g, ok := t.(interface{ GridCells() int }); ok {
-				if n := g.GridCells(); n > s.cfg.MaxGridCells {
-					return fmt.Errorf("grid has %d cells, limit %d", n, s.cfg.MaxGridCells)
+	var results []engine.BatchResult
+	serr := s.submitWait(r.Context(), engine.TierBatch, func(ctx context.Context) {
+		results = engine.RunBatchFiltered(ctx, s.eng, req.Requests, 0, func(t engine.Task) error {
+			switch tt := t.(type) {
+			case tasks.DVFSExploreTask:
+				if n := tt.GridCells(); n > maxDVFSCells {
+					return fmt.Errorf("grid has %d cells, limit %d", n, maxDVFSCells)
+				}
+				if tt.Spec.Scale > maxDVFSScale {
+					return fmt.Errorf("scale %d out of [0,%d]", tt.Spec.Scale, maxDVFSScale)
+				}
+			case tasks.DVFSRunTask:
+				if tt.Req.Scale > maxDVFSScale {
+					return fmt.Errorf("scale %d out of [0,%d]", tt.Req.Scale, maxDVFSScale)
+				}
+			default:
+				if g, ok := t.(interface{ GridCells() int }); ok {
+					if n := g.GridCells(); n > s.cfg.MaxGridCells {
+						return fmt.Errorf("grid has %d cells, limit %d", n, s.cfg.MaxGridCells)
+					}
 				}
 			}
-		}
-		return nil
+			return nil
+		})
 	})
+	switch {
+	case errors.Is(serr, engine.ErrPoolFull):
+		s.shed503(w, ErrCodeOverloaded, map[string]any{"queue": "batch"}, "batch queue full; retry later")
+		return
+	case errors.Is(serr, engine.ErrPoolDraining):
+		s.shed503(w, ErrCodeDraining, nil, "shutting down; retry against another node")
+		return
+	case serr != nil:
+		writeErr(w, http.StatusServiceUnavailable, "%s", serr)
+		return
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
@@ -527,13 +780,25 @@ func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "grid has %d cells, limit %d", n, s.cfg.MaxGridCells)
 		return
 	}
+	// Admission control: shed NEW work once the batch backlog crosses
+	// the watermark. A spec the manager already knows still answers —
+	// the dedup hit costs nothing and may well be the client retrying
+	// exactly as the earlier 503 told it to.
+	if _, known := s.jobs.Get(spec.CanonicalHash()); !known {
+		if backlog := s.jobs.BatchBacklog(); backlog >= int64(s.cfg.ShedWatermark) {
+			s.shed503(w, ErrCodeOverloaded, map[string]any{
+				"batch_backlog": backlog, "watermark": s.cfg.ShedWatermark,
+			}, "sweep queue saturated (%d queued >= watermark %d); retry later", backlog, s.cfg.ShedWatermark)
+			return
+		}
+	}
 	snap, cached, err := s.jobs.Enqueue(spec)
 	switch {
 	case errors.Is(err, errDraining):
-		writeErr(w, http.StatusServiceUnavailable, "%s", err)
+		s.shed503(w, ErrCodeDraining, nil, "%s", err)
 		return
 	case errors.Is(err, errQueueFull):
-		writeErr(w, http.StatusServiceUnavailable, "%s", err)
+		s.shed503(w, ErrCodeOverloaded, nil, "%s", err)
 		return
 	case err != nil:
 		writeErr(w, http.StatusInternalServerError, "%s", err)
@@ -546,8 +811,42 @@ func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, SweepAccepted{Job: snap, Cached: cached})
 }
 
+// SweepList is the GET /v1/sweeps payload: one page of the job table,
+// newest first, with the paging echoed back.
+type SweepList struct {
+	Jobs   []JobSnapshot `json:"jobs"`
+	Total  int           `json:"total"`
+	Offset int           `json:"offset"`
+	Limit  int           `json:"limit,omitempty"` // 0 = unlimited
+}
+
 func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil || offset < 0 {
+		writeErr(w, http.StatusBadRequest, "bad offset")
+		return
+	}
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil || limit < 0 {
+		writeErr(w, http.StatusBadRequest, "bad limit (0 = unlimited)")
+		return
+	}
+	all := s.jobs.List()
+	total := len(all)
+	page := all
+	if offset >= len(page) {
+		page = nil
+	} else {
+		page = page[offset:]
+	}
+	if limit > 0 && len(page) > limit {
+		page = page[:limit]
+	}
+	if page == nil {
+		page = []JobSnapshot{} // an empty page is [], never null
+	}
+	w.Header().Set("X-Total-Count", strconv.Itoa(total))
+	writeJSON(w, http.StatusOK, SweepList{Jobs: page, Total: total, Offset: offset, Limit: limit})
 }
 
 func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
@@ -557,29 +856,6 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
-}
-
-// handleSweepRows streams the job's checkpoint as JSONL. For a running job
-// this is the flushed in-order prefix — a live progress feed.
-func (s *Server) handleSweepRows(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if _, ok := s.jobs.Get(id); !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", id)
-		return
-	}
-	f, err := os.Open(s.jobs.RowsPath(id))
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			// Queued job that has not flushed a row yet: an empty stream.
-			w.Header().Set("Content-Type", "application/x-ndjson")
-			return
-		}
-		writeErr(w, http.StatusInternalServerError, "%s", err)
-		return
-	}
-	defer f.Close()
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	io.Copy(w, f)
 }
 
 // maxBodyBytes bounds every JSON request body (the header limits from

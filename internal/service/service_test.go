@@ -156,7 +156,7 @@ func TestErrorEnvelope(t *testing.T) {
 	} {
 		var env errorEnvelope
 		resp := getJSON(t, url, &env)
-		if resp.StatusCode != http.StatusBadRequest || env.Error.Message == "" || env.Error.Status != 400 {
+		if resp.StatusCode != http.StatusBadRequest || env.Error.Message == "" || env.Error.Code != ErrCodeInvalidRequest {
 			t.Errorf("GET %s: status %d, envelope %+v", url, resp.StatusCode, env)
 		}
 	}

@@ -149,6 +149,12 @@ func Run(spec Spec, opt RunOptions) (*Result, error) {
 					Flushed:    next,
 				})
 			}
+			// A cancellation must abort even when every cell already
+			// slipped past the pre-evaluation check (tiny grids): stop
+			// between rows, leaving the flushed prefix a valid checkpoint.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		return nil
 	}

@@ -1,0 +1,138 @@
+// Command apicheck keeps docs/openapi.yaml honest: it extracts the
+// method+path pairs from the route table in
+// internal/service/service.go and from the paths section of the spec,
+// and fails if either side lists a route the other does not. Run as
+// `make api-check`; CI runs it in the static-check job.
+//
+// The route table is the single place the service registers endpoints
+// (a struct literal per route), and the spec nests `get:`/`post:` under
+// `  /v1/...:` path keys — both shapes are stable enough to read with
+// line-level scanning, which keeps this tool dependency-free.
+//
+// Usage:
+//
+//	go run ./internal/tools/apicheck          # check the working tree
+//	go run ./internal/tools/apicheck DIR      # check another root
+//
+// Exit status 1 and one line per mismatch on failure.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// routeRe matches one entry of the service's route table, e.g.
+//
+//	{"GET", "/v1/sweeps/{id}/stream", s.handleSweepStream},
+var routeRe = regexp.MustCompile(`\{"(GET|POST|PUT|PATCH|DELETE)", "(/v1[^"]*)"`)
+
+// pathRe matches an OpenAPI path key at two-space indent.
+var pathRe = regexp.MustCompile(`^  (/[^\s:]+):\s*$`)
+
+// methodRe matches an OpenAPI operation key at four-space indent.
+var methodRe = regexp.MustCompile(`^    (get|post|put|patch|delete):`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	code, err := codeRoutes(filepath.Join(root, "internal", "service", "service.go"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(1)
+	}
+	spec, err := specRoutes(filepath.Join(root, "docs", "openapi.yaml"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(1)
+	}
+	if len(code) == 0 {
+		fmt.Fprintln(os.Stderr, "apicheck: no routes found in the service route table (did its shape change?)")
+		os.Exit(1)
+	}
+
+	bad := 0
+	for _, r := range sorted(code) {
+		if !spec[r] {
+			fmt.Printf("apicheck: %s is registered in service.go but missing from docs/openapi.yaml\n", r)
+			bad++
+		}
+	}
+	for _, r := range sorted(spec) {
+		if !code[r] {
+			fmt.Printf("apicheck: %s is documented in docs/openapi.yaml but not registered in service.go\n", r)
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("apicheck: %d routes match docs/openapi.yaml\n", len(code))
+}
+
+// codeRoutes scans the service source for route-table entries.
+func codeRoutes(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		for _, m := range routeRe.FindAllStringSubmatch(sc.Text(), -1) {
+			out[m[1]+" "+m[2]] = true
+		}
+	}
+	return out, sc.Err()
+}
+
+// specRoutes scans the OpenAPI file's paths section: a path key at
+// two-space indent, then its operations at four-space indent.
+func specRoutes(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]bool{}
+	inPaths := false
+	current := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "paths:"):
+			inPaths = true
+		case inPaths && len(line) > 0 && line[0] != ' ' && line[0] != '#':
+			inPaths = false // a new top-level key ends the section
+		}
+		if !inPaths {
+			continue
+		}
+		if m := pathRe.FindStringSubmatch(line); m != nil {
+			current = m[1]
+			continue
+		}
+		if m := methodRe.FindStringSubmatch(line); m != nil && current != "" {
+			out[strings.ToUpper(m[1])+" "+current] = true
+		}
+	}
+	return out, sc.Err()
+}
+
+func sorted(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -52,6 +52,8 @@ import (
 	"vccmin/internal/experiments"
 	"vccmin/internal/faults"
 	"vccmin/internal/geom"
+	"vccmin/internal/limit"
+	"vccmin/internal/loadgen"
 	"vccmin/internal/overhead"
 	"vccmin/internal/power"
 	"vccmin/internal/prob"
@@ -482,6 +484,38 @@ func NewServer(cfg ServeConfig) (*Server, error) { return service.New(cfg) }
 // to the configured timeout, and anything still running is checkpointed
 // for the next start.
 func Serve(ctx context.Context, cfg ServeConfig) error { return service.Serve(ctx, cfg) }
+
+// ---- Traffic (rate limiting, load generation) ----
+
+// RateLimiter is the per-client token-bucket limiter the service mounts
+// in front of every endpoint except /v1/healthz; usable standalone for
+// any keyed admission decision.
+type RateLimiter = limit.Limiter
+
+// NewRateLimiter builds a limiter refilling rate tokens per second per
+// key with the given bucket capacity (burst <= 0 defaults to 2*rate).
+func NewRateLimiter(rate, burst float64) *RateLimiter { return limit.New(rate, burst) }
+
+// LoadgenConfig configures a mixed-traffic open-loop replay against a
+// running service (see cmd/vccmin-loadgen for the CLI form).
+type LoadgenConfig = loadgen.Config
+
+// LoadgenEndpoint is one weighted entry of a loadgen traffic mix.
+type LoadgenEndpoint = loadgen.Endpoint
+
+// LoadgenReport is the replay digest: per-endpoint latency quantiles,
+// achieved throughput, and 429/503 accounting.
+type LoadgenReport = loadgen.Report
+
+// DefaultLoadgenMix is the standard six-endpoint traffic mix
+// (capacity, operating-point, overhead, sim, sweep, stats).
+func DefaultLoadgenMix() []LoadgenEndpoint { return loadgen.DefaultMix() }
+
+// RunLoadgen replays cfg's traffic mix at the configured open-loop rate
+// until the request budget is spent, then reports.
+func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
+	return loadgen.Run(ctx, cfg)
+}
 
 // MeasuredBlockDisableCapacity estimates Eq. 2 by Monte Carlo: the mean
 // fault-free-block fraction over trials maps drawn at pfail — the
