@@ -5,7 +5,7 @@ COVER_FLOOR ?= 75
 # Per-target budget for the `make fuzz` smoke run.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-json bench-gate fmt vet doc-check link-check api-check check fuzz cover serve sweep-demo loadgen-smoke ci
+.PHONY: build test race bench bench-json bench-gate diff-race fmt vet doc-check link-check api-check check fuzz cover serve sweep-demo loadgen-smoke ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ bench-json:
 # checked-in baseline without advancing the snapshot numbering.
 bench-gate:
 	$(GO) run ./cmd/vccmin-bench -out BENCH_ci.json
+
+# The differential equivalence suites under the race detector: the frozen
+# pre-optimization reference implementations (dense fault-map generation,
+# oracle DP, probe measurement, frontier marking) held byte-identical to
+# the optimized hot paths.
+diff-race:
+	$(GO) test -race -run 'Differential|ProbeCacheHit|MarkFrontierMatchesRebuild|FrontierSet' ./internal/faults ./internal/dvfs
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -69,11 +76,13 @@ api-check:
 # The static quality gate CI runs before the test jobs.
 check: vet fmt doc-check link-check api-check
 
-# Short fuzz smoke over the checkpoint readers (go test allows one fuzz
-# target per invocation, hence two runs).
+# Short fuzz smoke over the checkpoint readers and the batched sparse
+# sampler (go test allows one fuzz target per invocation, hence the
+# separate runs).
 fuzz:
 	$(GO) test ./internal/sweep -run='^$$' -fuzz=FuzzReadRows -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sweep -run='^$$' -fuzz=FuzzLoadCompleted -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/faults -run='^$$' -fuzz=FuzzSamplerBatched -fuzztime=$(FUZZTIME)
 
 # Coverage over the internal packages with a hard floor.
 cover:

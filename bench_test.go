@@ -9,7 +9,6 @@
 package vccmin
 
 import (
-	"strconv"
 	"testing"
 
 	"vccmin/internal/cache"
@@ -307,20 +306,18 @@ func BenchmarkFaultMapGeneration(b *testing.B) {
 // amortize pool start-up, small enough for a smoke-scale gate run.
 const benchCapacityTrials = 32
 
-// BenchmarkMeasuredCapacityDenseSerial is the pre-fast-path reference:
-// one dense per-seed fault map per trial, drawn serially — what
-// MeasuredBlockDisableCapacity cost before the sparse sampler and the
-// parallel executor.
+// BenchmarkMeasuredCapacityDenseSerial is the dense-stream serial
+// estimator: one fault map per trial on the committed math/rand value
+// stream, drawn through a reused DenseSampler buffer and reduced over
+// the word-packed faulty-block bitset. Per-trial maps (and the capacity
+// estimate) are byte-identical to the historical per-seed GenerateMap +
+// BuildBlockDisable loop this bench used to spell out.
 func BenchmarkMeasuredCapacityDenseSerial(b *testing.B) {
 	g := geom.MustNew(32*1024, 8, 64)
+	b.ReportAllocs()
 	var sink float64
 	for i := 0; i < b.N; i++ {
-		sum := 0.0
-		for t := 0; t < benchCapacityTrials; t++ {
-			m := faults.GenerateMap(g, 32, 0.001, faults.DeriveSeed(1, "capacity-trial", strconv.Itoa(t)))
-			sum += BuildBlockDisable(m).CapacityFraction()
-		}
-		sink = sum / benchCapacityTrials
+		sink = MeasuredBlockDisableCapacityDenseSerial(g, 0.001, benchCapacityTrials, 1)
 	}
 	b.ReportMetric(sink, "capacity")
 }

@@ -173,6 +173,18 @@ func goldenBenchSnapshot() *benchreg.Snapshot {
 					"wordDis-norm":  0.806,
 				},
 			},
+			{
+				// An alloc-bearing entry: allocs/op is a gated axis (the
+				// bench gate fails on cur > base*(1+threshold)+0.5), so the
+				// schema fixture must pin its serialized form.
+				Name:        "BenchmarkMeasuredCapacityDenseSerial",
+				Procs:       8,
+				Iterations:  6186,
+				NsPerOp:     347802,
+				BytesPerOp:  53416,
+				AllocsPerOp: 12,
+				Metrics:     map[string]float64{"capacity": 0.5864},
+			},
 		},
 	}
 }

@@ -237,3 +237,49 @@ func TestCompareImprovementNeverFails(t *testing.T) {
 		t.Error("a 10x improvement failed the gate")
 	}
 }
+
+func TestCompareGatesOnAllocs(t *testing.T) {
+	// The alloc rule is cur > base*(1+threshold)+0.5: a zero-alloc
+	// baseline tolerates averaging dust below half an alloc but fails on
+	// a genuine new allocation, and a nonzero baseline gates relatively.
+	base := snapshotOf(
+		Benchmark{Name: "BenchmarkZeroAlloc", NsPerOp: 100, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkDust", NsPerOp: 100, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkMany", NsPerOp: 100, AllocsPerOp: 100},
+		Benchmark{Name: "BenchmarkManyOK", NsPerOp: 100, AllocsPerOp: 100},
+	)
+	cur := snapshotOf(
+		Benchmark{Name: "BenchmarkZeroAlloc", NsPerOp: 100, AllocsPerOp: 1}, // new alloc: fails
+		Benchmark{Name: "BenchmarkDust", NsPerOp: 100, AllocsPerOp: 0.3},    // averaging dust: ok
+		Benchmark{Name: "BenchmarkMany", NsPerOp: 100, AllocsPerOp: 130},    // +30%: fails at 25%
+		Benchmark{Name: "BenchmarkManyOK", NsPerOp: 100, AllocsPerOp: 125},  // exactly at the bar + 0.5 slack: ok
+	)
+	rep := Compare(base, cur, 0.25)
+	byName := map[string]Delta{}
+	for _, d := range rep.Deltas {
+		byName[d.Name] = d
+	}
+	if !byName["BenchmarkZeroAlloc"].AllocsRegressed {
+		t.Error("0 -> 1 allocs/op not flagged")
+	}
+	if byName["BenchmarkZeroAlloc"].Regressed {
+		t.Error("alloc regression leaked into the ns/op flag")
+	}
+	if byName["BenchmarkDust"].AllocsRegressed {
+		t.Error("0 -> 0.3 allocs/op flagged despite the 0.5 slack")
+	}
+	if !byName["BenchmarkMany"].AllocsRegressed {
+		t.Error("100 -> 130 allocs/op not flagged at 25%")
+	}
+	if byName["BenchmarkManyOK"].AllocsRegressed {
+		t.Error("100 -> 125 allocs/op flagged (125 = 100*1.25 <= bar+slack)")
+	}
+	if rep.Regressions != 2 || !rep.Failed() {
+		t.Fatalf("want 2 regressions, got %d (failed=%v)", rep.Regressions, rep.Failed())
+	}
+	var out bytes.Buffer
+	rep.Format(&out)
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("report table missing alloc columns:\n%s", out.String())
+	}
+}

@@ -5,13 +5,20 @@ import (
 	"io"
 )
 
-// Delta is one benchmark's baseline-to-current comparison.
+// Delta is one benchmark's baseline-to-current comparison, on both the
+// ns/op and allocs/op axes (an allocation-count creep is a regression
+// the wall-clock axis can hide behind machine noise).
 type Delta struct {
 	Name      string  `json:"name"`
 	BaseNs    float64 `json:"base_ns_per_op"`
 	CurNs     float64 `json:"cur_ns_per_op"`
 	Ratio     float64 `json:"ratio"` // cur / base; > 1 is slower
 	Regressed bool    `json:"regressed"`
+
+	BaseAllocs      float64 `json:"base_allocs_per_op"`
+	CurAllocs       float64 `json:"cur_allocs_per_op"`
+	AllocsRatio     float64 `json:"allocs_ratio"` // cur / base; > 1 allocates more
+	AllocsRegressed bool    `json:"allocs_regressed"`
 }
 
 // Report is the outcome of comparing a current snapshot against a
@@ -29,9 +36,12 @@ func (r Report) Failed() bool { return r.Regressions > 0 }
 
 // Compare matches base and current benchmarks by name (procs-stripped;
 // repeated entries averaged) and flags every benchmark whose current
-// ns/op exceeds base*(1+threshold). Benchmarks present on only one side
-// are listed but never gate — a filtered smoke run against a full
-// baseline gates exactly on the intersection.
+// ns/op exceeds base*(1+threshold), or whose current allocs/op exceeds
+// base*(1+threshold)+0.5 — the half-alloc slack absorbs averaging
+// artifacts from merged repetitions while still catching any genuine
+// extra allocation on a zero- or low-alloc baseline. Benchmarks present
+// on only one side are listed but never gate — a filtered smoke run
+// against a full baseline gates exactly on the intersection.
 func Compare(base, current *Snapshot, threshold float64) Report {
 	rep := Report{Threshold: threshold}
 	b, c := base.byName(), current.byName()
@@ -42,12 +52,20 @@ func Compare(base, current *Snapshot, threshold float64) Report {
 			rep.OnlyInBase = append(rep.OnlyInBase, name)
 			continue
 		}
-		d := Delta{Name: name, BaseNs: bb.NsPerOp, CurNs: cb.NsPerOp}
+		d := Delta{
+			Name:   name,
+			BaseNs: bb.NsPerOp, CurNs: cb.NsPerOp,
+			BaseAllocs: bb.AllocsPerOp, CurAllocs: cb.AllocsPerOp,
+		}
 		if bb.NsPerOp > 0 {
 			d.Ratio = cb.NsPerOp / bb.NsPerOp
 			d.Regressed = d.Ratio > 1+threshold
 		}
-		if d.Regressed {
+		if bb.AllocsPerOp > 0 {
+			d.AllocsRatio = cb.AllocsPerOp / bb.AllocsPerOp
+		}
+		d.AllocsRegressed = cb.AllocsPerOp > bb.AllocsPerOp*(1+threshold)+0.5
+		if d.Regressed || d.AllocsRegressed {
 			rep.Regressions++
 		}
 		rep.Deltas = append(rep.Deltas, d)
@@ -62,16 +80,16 @@ func Compare(base, current *Snapshot, threshold float64) Report {
 
 // Format renders the report as an aligned human-readable table.
 func (r Report) Format(w io.Writer) {
-	fmt.Fprintf(w, "benchmark comparison (gate: ns/op > baseline +%.0f%%)\n", r.Threshold*100)
+	fmt.Fprintf(w, "benchmark comparison (gate: ns/op or allocs/op > baseline +%.0f%%)\n", r.Threshold*100)
 	for _, d := range r.Deltas {
 		mark := "  "
-		if d.Regressed {
+		if d.Regressed || d.AllocsRegressed {
 			mark = "✗ "
 		} else if d.Ratio > 0 && d.Ratio < 1 {
 			mark = "✓ "
 		}
-		fmt.Fprintf(w, "%s%-64s %14.1f -> %12.1f ns/op  (%+.1f%%)\n",
-			mark, d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100)
+		fmt.Fprintf(w, "%s%-64s %14.1f -> %12.1f ns/op  (%+.1f%%)  %8.1f -> %8.1f allocs/op\n",
+			mark, d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100, d.BaseAllocs, d.CurAllocs)
 	}
 	for _, n := range r.OnlyInBase {
 		fmt.Fprintf(w, "  %-64s only in baseline (not gated)\n", n)

@@ -43,18 +43,15 @@ type BlockDisableMap struct {
 }
 
 // BuildBlockDisable classifies every block of the fault map: a block is
-// disabled when any of its cells (tag, valid or data) is faulty.
+// disabled when any of its cells (tag, valid or data) is faulty. The
+// classification reads the map's word-packed faulty-block bitset a whole
+// set at a time rather than probing block records individually.
 func BuildBlockDisable(m *faults.Map) *BlockDisableMap {
 	g := m.Geom
 	d := &BlockDisableMap{Geom: g, Sets: make([]WayMask, g.Sets())}
+	all := AllWays(g.Ways)
 	for set := 0; set < g.Sets(); set++ {
-		var mask WayMask
-		for way := 0; way < g.Ways; way++ {
-			if !m.BlockFaulty(set, way) {
-				mask |= 1 << uint(way)
-			}
-		}
-		d.Sets[set] = mask
+		d.Sets[set] = all &^ WayMask(m.FaultyWays(set))
 	}
 	return d
 }

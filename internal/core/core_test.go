@@ -70,6 +70,7 @@ func TestBlockDisableTagFaultDisables(t *testing.T) {
 	blockIdx := refGeom.BlockIndex(3, 5)
 	m.Blocks[blockIdx].TagFaulty = true
 	m.Blocks[blockIdx].Cells = 1
+	m.ReindexBlocks()
 	d := BuildBlockDisable(m)
 	if d.Enabled(3, 5) {
 		t.Error("block with tag fault should be disabled")

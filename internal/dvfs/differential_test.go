@@ -1,0 +1,318 @@
+package dvfs
+
+// Differential equivalence suite for the oracle hot path.
+//
+// The oracle scheduler was rewritten in three observationally invisible
+// steps — flat-array DP in planOracle, probe-system reuse via
+// sim.System.Reset in probeCycles, and the allocation-free runChunks
+// loop — each promising byte-identical results to the code it replaced.
+// The historical implementations are frozen here (refPlanOracle is the
+// map-per-phase DP verbatim; refProbeCycles builds a fresh system per
+// (mode, phase) cell exactly as probe() used to) and held to the
+// production path across randomized cost tables and real workloads.
+// TestOracleChunkLoopAllocs pins the extracted chunk loop to zero
+// allocations at steady state. CI runs this suite under -race
+// (make diff-race).
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"vccmin/internal/faults"
+	"vccmin/internal/power"
+	"vccmin/internal/sim"
+	"vccmin/internal/trace"
+	"vccmin/internal/workload"
+)
+
+// refPlanOracle is the historical map-based DP, frozen as the
+// differential reference — do not "optimize" it. Tie semantics: modes
+// are evaluated high-voltage first with a strict < comparison.
+func refPlanOracle(phases int, lambda float64,
+	energyOf, timeOf func(phase int, m sim.Mode) float64,
+	switchEnergy, switchTime func(to sim.Mode) float64) oraclePlan {
+
+	modes := []sim.Mode{sim.HighVoltage, sim.LowVoltage}
+	cost := func(p int, m sim.Mode) float64 { return energyOf(p, m) + lambda*timeOf(p, m) }
+	swCost := func(to sim.Mode) float64 { return switchEnergy(to) + lambda*switchTime(to) }
+
+	best := map[sim.Mode]float64{}
+	from := make([]map[sim.Mode]sim.Mode, phases)
+	for _, m := range modes {
+		best[m] = cost(0, m)
+	}
+	for p := 1; p < phases; p++ {
+		next := map[sim.Mode]float64{}
+		from[p] = map[sim.Mode]sim.Mode{}
+		for _, m := range modes {
+			bestPrev, bestVal := modes[0], 0.0
+			for i, prev := range modes {
+				v := best[prev]
+				if prev != m {
+					v += swCost(m)
+				}
+				if i == 0 || v < bestVal {
+					bestPrev, bestVal = prev, v
+				}
+			}
+			next[m] = bestVal + cost(p, m)
+			from[p][m] = bestPrev
+		}
+		best = next
+	}
+
+	plan := make(oraclePlan, phases)
+	last := modes[0]
+	if best[modes[1]] < best[modes[0]] {
+		last = modes[1]
+	}
+	plan[phases-1] = last
+	for p := phases - 1; p > 0; p-- {
+		last = from[p][last]
+		plan[p-1] = last
+	}
+	return plan
+}
+
+func TestDifferentialOraclePlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		phases := 1 + rng.Intn(12)
+		// Half the trials draw continuous costs; the other half draw from
+		// a 4-value grid so equal-cost ties are common and the strict-<
+		// tie-breaking of both implementations is actually exercised.
+		draw := rng.Float64
+		if trial%2 == 1 {
+			draw = func() float64 { return float64(1 + rng.Intn(4)) }
+		}
+		energy := [2][]float64{make([]float64, phases), make([]float64, phases)}
+		time := [2][]float64{make([]float64, phases), make([]float64, phases)}
+		for p := 0; p < phases; p++ {
+			for m := 0; m < 2; m++ {
+				energy[m][p] = draw() * 100
+				time[m][p] = draw() * 10
+			}
+		}
+		lambda := draw()
+		swE := [2]float64{draw() * float64(rng.Intn(2)), draw() * float64(rng.Intn(2))}
+		swT := [2]float64{draw(), draw()}
+
+		energyOf := func(p int, m sim.Mode) float64 { return energy[m][p] }
+		timeOf := func(p int, m sim.Mode) float64 { return time[m][p] }
+		switchEnergy := func(to sim.Mode) float64 { return swE[to] }
+		switchTime := func(to sim.Mode) float64 { return swT[to] }
+
+		got := planOracle(phases, lambda, energyOf, timeOf, switchEnergy, switchTime)
+		want := refPlanOracle(phases, lambda, energyOf, timeOf, switchEnergy, switchTime)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (phases=%d): flat DP plan %v differs from map-based reference %v",
+				trial, phases, got, want)
+		}
+	}
+}
+
+// refProbeCycles is the historical probe measurement: a fresh sim.Build
+// for every (mode, phase) cell, no reuse, no cache.
+func refProbeCycles(t *testing.T, cfg Config) [2][]uint64 {
+	t.Helper()
+	var cycles [2][]uint64
+	for _, m := range []sim.Mode{sim.HighVoltage, sim.LowVoltage} {
+		cycles[m] = make([]uint64, len(cfg.Workload.Phases))
+		for p, ph := range cfg.Workload.Phases {
+			sys, err := sim.Build(cfg.modeOptions(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := cfg.phaseGenerator(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles[m][p] = sys.CPU.Run(gen, ph.Instructions).Cycles
+		}
+	}
+	return cycles
+}
+
+func TestDifferentialProbeCycles(t *testing.T) {
+	for _, name := range workload.MultiPhaseNames() {
+		mp, err := workload.MultiPhaseByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range []sim.Scheme{sim.BlockDisable, sim.WordDisable} {
+			cfg := Config{
+				Workload: mp.Scaled(12_000),
+				Scheme:   scheme,
+				Pfail:    0.001,
+				Policy:   PolicyOracle,
+				Seed:     424243, // unique: the first probeCycles call must compute, not hit the cache
+			}.withDefaults()
+			r := &runner{cfg: cfg}
+			got, err := r.probeCycles()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refProbeCycles(t, cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s: Reset-reuse probe cycles %v differ from fresh-build reference %v",
+					name, scheme, got, want)
+			}
+		}
+	}
+}
+
+func TestProbeCacheHitIsIdentical(t *testing.T) {
+	cfg := Config{
+		Workload: testWorkload(t),
+		Scheme:   sim.BlockDisable,
+		Pfail:    0.001,
+		Policy:   PolicyOracle,
+		Seed:     424244,
+	}.withDefaults()
+	first, err := (&runner{cfg: cfg}).probeCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := (&runner{cfg: cfg}).probeCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("probe cache hit returned different cycles than the computing call")
+	}
+}
+
+// TestOracleChunkLoopAllocs pins the scheduler's steady-state chunk loop
+// — everything schedule() runs after setup — to zero heap allocations.
+// It rebuilds exactly the state Run materializes before runChunks, then
+// replays the loop with the generators, stream, systems and result
+// buffer reset in place between iterations.
+func TestOracleChunkLoopAllocs(t *testing.T) {
+	cfg := Config{
+		Workload: testWorkload(t),
+		Scheme:   sim.BlockDisable,
+		Pfail:    0.001,
+		Policy:   PolicyOracle,
+		Seed:     11,
+	}.withDefaults()
+	model := power.Default()
+	r := &runner{cfg: cfg, model: model}
+	r.freq[sim.HighVoltage], r.freq[sim.LowVoltage] = 1, cfg.LowFreq
+	r.volt[sim.HighVoltage], r.volt[sim.LowVoltage] = 1, model.OperatingPointForPfail(cfg.Pfail).Voltage
+	for _, m := range []sim.Mode{sim.HighVoltage, sim.LowVoltage} {
+		sys, err := sim.Build(cfg.modeOptions(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.systems[m] = sys
+	}
+	decide, err := r.policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gens := make([]*workload.Generator, len(cfg.Workload.Phases))
+	seeds := make([]int64, len(cfg.Workload.Phases))
+	segs := make([]trace.Segment, len(cfg.Workload.Phases))
+	for p, ph := range cfg.Workload.Phases {
+		gen, err := cfg.phaseGenerator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens[p] = gen
+		seeds[p] = faults.DeriveSeed(cfg.Seed, "dvfs-phase", strconv.Itoa(p), ph.Benchmark)
+		segs[p] = trace.Segment{Gen: gen, Instructions: ph.Instructions}
+	}
+	stream := trace.NewPhased(segs)
+
+	res := Result{
+		TotalInstructions: cfg.Workload.TotalInstructions(),
+		Phases:            make([]PhaseBreakdown, len(cfg.Workload.Phases)),
+	}
+
+	allocs := testing.AllocsPerRun(5, func() {
+		for p := range gens {
+			gens[p].Reset(seeds[p])
+		}
+		stream.Reset()
+		for _, m := range []sim.Mode{sim.HighVoltage, sim.LowVoltage} {
+			r.systems[m].Reset()
+		}
+		res.Switches, res.HighInstructions, res.LowInstructions = 0, 0, 0
+		res.Time, res.Energy = 0, 0
+		for i := range res.Phases {
+			res.Phases[i] = PhaseBreakdown{}
+		}
+		r.runChunks(decide, &res, stream)
+	})
+	if allocs != 0 {
+		t.Fatalf("oracle chunk loop allocates %v objects per run, want 0", allocs)
+	}
+	if res.HighInstructions+res.LowInstructions != res.TotalInstructions {
+		t.Fatalf("replayed loop lost instructions: %d+%d != %d",
+			res.HighInstructions, res.LowInstructions, res.TotalInstructions)
+	}
+}
+
+// refMarkFrontier is the historical all-pairs frontier marking, frozen
+// as the reference for the incremental FrontierSet rewrite.
+func refMarkFrontier(points []Point) {
+	for i := range points {
+		points[i].Pareto = true
+		for j := range points {
+			if i != j && points[i].Workload == points[j].Workload && dominates(points[j], points[i]) {
+				points[i].Pareto = false
+				break
+			}
+		}
+	}
+}
+
+func TestMarkFrontierMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	workloads := []string{"a", "b", "c"}
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(60)
+		points := make([]Point, n)
+		for i := range points {
+			// A coarse value grid makes exact duplicates and single-axis
+			// ties common — the cases where frontier semantics are subtle.
+			points[i] = Point{
+				Workload:             workloads[rng.Intn(len(workloads))],
+				Performance:          float64(rng.Intn(8)) / 4,
+				EnergyPerInstruction: float64(rng.Intn(8)) / 4,
+			}
+			if trial%3 == 0 { // continuous trials too
+				points[i].Performance = rng.Float64()
+				points[i].EnergyPerInstruction = rng.Float64()
+			}
+		}
+		got := append([]Point(nil), points...)
+		want := append([]Point(nil), points...)
+		MarkFrontier(got)
+		refMarkFrontier(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: incremental frontier differs from all-pairs reference\n got %+v\nwant %+v",
+				trial, got, want)
+		}
+	}
+}
+
+func TestFrontierSetStaircaseInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var fs FrontierSet
+	for i := 0; i < 500; i++ {
+		fs.Insert(Point{
+			Performance:          float64(rng.Intn(30)) / 8,
+			EnergyPerInstruction: float64(rng.Intn(30)) / 8,
+		})
+		for j := 1; j < fs.Len(); j++ {
+			if fs.perf[j] >= fs.perf[j-1] || fs.epi[j] >= fs.epi[j-1] {
+				t.Fatalf("after %d inserts the staircase is broken at %d: perf %v epi %v",
+					i+1, j, fs.perf, fs.epi)
+			}
+		}
+	}
+}

@@ -35,6 +35,8 @@ package dvfs
 import (
 	"fmt"
 	"strconv"
+	"strings"
+	"sync"
 
 	"vccmin/internal/faults"
 	"vccmin/internal/geom"
@@ -316,24 +318,104 @@ func (r *runner) warmup() error {
 	return nil
 }
 
-// probe measures every phase in isolation in both modes on fresh systems
-// (the oracle's cost table): cycles → normalized time and energy.
-func (r *runner) probe() (energy, time [2][]float64, err error) {
+// probeKey identifies everything the oracle's probe cycle counts depend
+// on: the machine (geometry, scheme, victim), the fault-map pair (pfail,
+// seed, workload name — the pair seed derives from them) and the phase
+// list (each phase's generator seed derives from the config seed, the
+// phase index and the benchmark name). Frequency, voltage, switch
+// economics and the power model scale cycles into time and energy AFTER
+// the probe, so they are deliberately absent.
+type probeKey struct {
+	g      geom.Geometry
+	scheme sim.Scheme
+	victim sim.VictimKind
+	pfail  float64
+	seed   int64
+	name   string
+	phases string
+}
+
+func (c Config) probeKey() probeKey {
+	var b strings.Builder
+	for _, ph := range c.Workload.Phases {
+		fmt.Fprintf(&b, "%d:%s:%d;", len(ph.Benchmark), ph.Benchmark, ph.Instructions)
+	}
+	return probeKey{
+		g:      c.geometry(),
+		scheme: c.Scheme,
+		victim: c.Victim,
+		pfail:  c.Pfail,
+		seed:   c.Seed,
+		name:   c.Workload.Name,
+		phases: b.String(),
+	}
+}
+
+// probeCache memoizes probe cycle tables across runs. Probe cycles are a
+// pure function of the probeKey, so a hit is observationally identical
+// to re-simulating — it just skips the dominant cost of an oracle run
+// (two system builds plus every phase in both modes). Explore's parallel
+// jobs share it, hence the lock. probeCacheCap bounds growth: at the cap
+// the cache drops everything (entries are cheap to recompute and a full
+// wipe keeps the policy deterministic).
+var probeCache = struct {
+	sync.Mutex
+	m map[probeKey][2][]uint64
+}{m: map[probeKey][2][]uint64{}}
+
+const probeCacheCap = 128
+
+// probeCycles measures every phase in isolation in both modes (the
+// oracle's cost table), reusing one system per mode via sim.System.Reset
+// — bit-identical to building a fresh system per (mode, phase) cell, at
+// a fraction of the cost — and memoizing the result in probeCache.
+func (r *runner) probeCycles() ([2][]uint64, error) {
 	cfg := r.cfg
+	key := cfg.probeKey()
+	probeCache.Lock()
+	cycles, ok := probeCache.m[key]
+	probeCache.Unlock()
+	if ok {
+		return cycles, nil
+	}
 	for _, m := range []sim.Mode{sim.HighVoltage, sim.LowVoltage} {
-		energy[m] = make([]float64, len(cfg.Workload.Phases))
-		time[m] = make([]float64, len(cfg.Workload.Phases))
+		cycles[m] = make([]uint64, len(cfg.Workload.Phases))
+		sys, err := sim.Build(cfg.modeOptions(m))
+		if err != nil {
+			return cycles, err
+		}
 		for p, ph := range cfg.Workload.Phases {
-			sys, err := sim.Build(cfg.modeOptions(m))
-			if err != nil {
-				return energy, time, err
+			if p > 0 {
+				sys.Reset()
 			}
 			gen, err := cfg.phaseGenerator(p)
 			if err != nil {
-				return energy, time, err
+				return cycles, err
 			}
-			stats := sys.CPU.Run(gen, ph.Instructions)
-			c := float64(stats.Cycles)
+			cycles[m][p] = sys.CPU.Run(gen, ph.Instructions).Cycles
+		}
+	}
+	probeCache.Lock()
+	if len(probeCache.m) >= probeCacheCap {
+		probeCache.m = map[probeKey][2][]uint64{}
+	}
+	probeCache.m[key] = cycles
+	probeCache.Unlock()
+	return cycles, nil
+}
+
+// probe scales the (possibly cached) probe cycle table into the oracle's
+// normalized time and energy costs at this run's operating points.
+func (r *runner) probe() (energy, time [2][]float64, err error) {
+	cycles, err := r.probeCycles()
+	if err != nil {
+		return energy, time, err
+	}
+	for _, m := range []sim.Mode{sim.HighVoltage, sim.LowVoltage} {
+		energy[m] = make([]float64, len(cycles[m]))
+		time[m] = make([]float64, len(cycles[m]))
+		for p, cy := range cycles[m] {
+			c := float64(cy)
 			energy[m][p] = r.volt[m] * r.volt[m] * c
 			time[m][p] = c / r.freq[m]
 		}
@@ -437,6 +519,25 @@ func (r *runner) schedule(decide policyFunc) (Result, error) {
 	}
 	stream := trace.NewPhased(segs)
 
+	r.runChunks(decide, &res, stream)
+
+	if res.Time > 0 {
+		res.Performance = float64(res.TotalInstructions) / res.Time
+	}
+	res.EnergyPerInstruction = res.Energy / float64(res.TotalInstructions)
+	res.EnergyDelayProduct = res.Energy * res.Time
+	return res, nil
+}
+
+// runChunks is the scheduler's hot loop: execute the phased stream chunk
+// by chunk, consulting the policy at every boundary and charging switch
+// penalties on transitions, accumulating into res (whose Phases slice
+// the caller pre-sized). Everything it needs — the DP plan behind an
+// oracle decide, the per-mode systems, the phase accounting slots — is
+// materialized before the first chunk, so the loop itself allocates
+// nothing (TestOracleChunkLoopAllocs pins this).
+func (r *runner) runChunks(decide policyFunc, res *Result, stream *trace.PhasedGenerator) {
+	cfg := r.cfg
 	mode := sim.HighVoltage
 	d := decisionContext{Mode: mode}
 	left := res.TotalInstructions
@@ -483,11 +584,4 @@ func (r *runner) schedule(decide policyFunc) (Result, error) {
 		d.LastIPC = stats.IPC()
 		d.HaveSample = true
 	}
-
-	if res.Time > 0 {
-		res.Performance = float64(res.TotalInstructions) / res.Time
-	}
-	res.EnergyPerInstruction = res.Energy / float64(res.TotalInstructions)
-	res.EnergyDelayProduct = res.Energy * res.Time
-	return res, nil
 }

@@ -44,18 +44,87 @@ func dominates(a, b Point) bool {
 	return a.Performance > b.Performance || a.EnergyPerInstruction < b.EnergyPerInstruction
 }
 
+// FrontierSet maintains a Pareto frontier over (maximize performance,
+// minimize energy-per-instruction) incrementally: points are inserted
+// one at a time, and at every moment the set holds exactly the
+// non-dominated points seen so far, deduplicated, as a staircase sorted
+// by strictly decreasing performance — which, on the frontier, forces
+// strictly decreasing energy too (a cheaper point at equal-or-higher
+// performance would dominate). Insert and Dominated are O(log n) plus
+// the amortized O(1) removal of newly dominated members, replacing the
+// all-pairs rescan MarkFrontier used to run over the full point set.
+type FrontierSet struct {
+	perf []float64
+	epi  []float64
+}
+
+// Len returns the number of distinct frontier members.
+func (f *FrontierSet) Len() int { return len(f.perf) }
+
+// lastGE returns the index of the last member with performance >= perf,
+// or -1. Members are sorted by strictly decreasing performance.
+func (f *FrontierSet) lastGE(perf float64) int {
+	return sort.Search(len(f.perf), func(i int) bool { return f.perf[i] < perf }) - 1
+}
+
+// Dominated reports whether some inserted point strictly dominates p
+// (better or equal on both axes, strictly better on one). A point equal
+// to a member on both axes is NOT dominated — equal points share the
+// frontier, exactly as under the pairwise dominates relation.
+func (f *FrontierSet) Dominated(p Point) bool {
+	// Among members at performance >= p's, the last one has the lowest
+	// energy (staircase), so it dominates p iff any member does.
+	i := f.lastGE(p.Performance)
+	if i < 0 || f.epi[i] > p.EnergyPerInstruction {
+		return false
+	}
+	return f.perf[i] > p.Performance || f.epi[i] < p.EnergyPerInstruction
+}
+
+// Insert adds p to the set, dropping it if dominated (or an exact
+// duplicate) and evicting any members p newly dominates.
+func (f *FrontierSet) Insert(p Point) {
+	if f.Dominated(p) {
+		return
+	}
+	lo := f.lastGE(p.Performance) + 1 // first member with perf < p's
+	if i := lo - 1; i >= 0 && f.perf[i] == p.Performance {
+		if f.epi[i] == p.EnergyPerInstruction {
+			return // exact duplicate of a member
+		}
+		// Not dominated and not equal at the same performance: the member
+		// pays strictly more energy, so p evicts it too.
+		lo = i
+	}
+	// Members from lo on have performance <= p's; the prefix of them with
+	// energy >= p's is dominated by p (energies decrease, so the doomed
+	// run is contiguous).
+	hi := lo
+	for hi < len(f.perf) && f.epi[hi] >= p.EnergyPerInstruction {
+		hi++
+	}
+	f.perf = append(f.perf[:lo], append([]float64{p.Performance}, f.perf[hi:]...)...)
+	f.epi = append(f.epi[:lo], append([]float64{p.EnergyPerInstruction}, f.epi[hi:]...)...)
+}
+
 // MarkFrontier sets Pareto on every non-dominated point, comparing only
 // points of the same workload (cross-workload comparisons mix different
 // instruction streams and mean nothing). The slice is modified in place.
+// One incremental FrontierSet per workload replaces the historical
+// all-pairs scan; TestMarkFrontierMatchesRebuild holds the two to
+// identical markings on random point sets.
 func MarkFrontier(points []Point) {
+	frontiers := make(map[string]*FrontierSet)
 	for i := range points {
-		points[i].Pareto = true
-		for j := range points {
-			if i != j && points[i].Workload == points[j].Workload && dominates(points[j], points[i]) {
-				points[i].Pareto = false
-				break
-			}
+		fs := frontiers[points[i].Workload]
+		if fs == nil {
+			fs = &FrontierSet{}
+			frontiers[points[i].Workload] = fs
 		}
+		fs.Insert(points[i])
+	}
+	for i := range points {
+		points[i].Pareto = !frontiers[points[i].Workload].Dominated(points[i])
 	}
 }
 

@@ -109,50 +109,58 @@ type oraclePlan []sim.Mode
 // (phase, mode) states. energyOf/timeOf give a phase's isolated-probe cost
 // in a mode; switchEnergy/switchTime price one mode transition charged in
 // the destination mode.
+//
+// The DP state is two flat arrays — best-cost per ending mode and a
+// packed predecessor table — allocated once up front (the map-per-phase
+// formulation this replaces allocated two maps per phase; the _test.go
+// reference keeps it, and TestDifferentialOraclePlan holds the two to
+// identical plans). The float arithmetic and the comparison order are
+// exactly the reference's: candidates are evaluated high-voltage first
+// with a strict < comparison, so ties prefer high voltage everywhere.
 func planOracle(phases int, lambda float64,
 	energyOf, timeOf func(phase int, m sim.Mode) float64,
 	switchEnergy, switchTime func(to sim.Mode) float64) oraclePlan {
 
-	modes := []sim.Mode{sim.HighVoltage, sim.LowVoltage}
+	modes := [2]sim.Mode{sim.HighVoltage, sim.LowVoltage}
 	cost := func(p int, m sim.Mode) float64 { return energyOf(p, m) + lambda*timeOf(p, m) }
 	swCost := func(to sim.Mode) float64 { return switchEnergy(to) + lambda*switchTime(to) }
 
-	// best[m] is the minimal cost of scheduling phases [0..p] ending in m;
-	// from[p][m] the predecessor mode achieving it.
-	best := map[sim.Mode]float64{}
-	from := make([]map[sim.Mode]sim.Mode, phases)
-	for _, m := range modes {
-		best[m] = cost(0, m)
-	}
+	// best[i] is the minimal cost of scheduling phases [0..p] ending in
+	// modes[i]; from[2p+i] the index of the predecessor mode achieving it.
+	var best, next [2]float64
+	from := make([]uint8, 2*phases)
+	best[0] = cost(0, modes[0])
+	best[1] = cost(0, modes[1])
 	for p := 1; p < phases; p++ {
-		next := map[sim.Mode]float64{}
-		from[p] = map[sim.Mode]sim.Mode{}
-		for _, m := range modes {
-			bestPrev, bestVal := modes[0], 0.0
-			for i, prev := range modes {
-				v := best[prev]
-				if prev != m {
-					v += swCost(m)
-				}
-				if i == 0 || v < bestVal {
-					bestPrev, bestVal = prev, v
-				}
+		for i, m := range modes {
+			sw := swCost(m)
+			v0 := best[0]
+			if modes[0] != m {
+				v0 += sw
 			}
-			next[m] = bestVal + cost(p, m)
-			from[p][m] = bestPrev
+			v1 := best[1]
+			if modes[1] != m {
+				v1 += sw
+			}
+			bestPrev, bestVal := uint8(0), v0
+			if v1 < bestVal {
+				bestPrev, bestVal = 1, v1
+			}
+			next[i] = bestVal + cost(p, m)
+			from[2*p+i] = bestPrev
 		}
 		best = next
 	}
 
 	plan := make(oraclePlan, phases)
-	last := modes[0]
-	if best[modes[1]] < best[modes[0]] {
-		last = modes[1]
+	last := uint8(0)
+	if best[1] < best[0] {
+		last = 1
 	}
-	plan[phases-1] = last
+	plan[phases-1] = modes[last]
 	for p := phases - 1; p > 0; p-- {
-		last = from[p][last]
-		plan[p-1] = last
+		last = from[2*p+int(last)]
+		plan[p-1] = modes[last]
 	}
 	return plan
 }

@@ -1,0 +1,134 @@
+package faults
+
+// Dense fault-map sampling on the math/rand value stream — the committed
+// stream behind every dense seed (golden fixtures, the dvfs pair maps,
+// the seeded simulation tests). Unlike the sparse family, which was free
+// to pick a cheaper generator, the dense path must reproduce
+// rand.New(rand.NewSource(seed)) draw for draw, so the only admissible
+// optimizations are ones that leave the value stream untouched:
+//
+//   - the rng is lfrand.Source, an exact replica of math/rand's
+//     lagged-Fibonacci source with ~2× cheaper seeding, no per-map heap
+//     allocation, and devirtualized draw calls;
+//   - the per-fault marking hoists the geometry constants out of the
+//     loop and recovers the block index with a reciprocal multiply
+//     (exactness restored by a ±1 correction) instead of div+mod;
+//   - DenseSampler reuses one Map buffer across Monte Carlo trials,
+//     clearing only the blocks the previous draw dirtied, so a
+//     steady-state draw allocates nothing.
+//
+// What the dense kernel must NOT do is batch its uniform draws the way
+// injectSparse does: GeneratePair runs the D map on the stream suffix
+// the I map leaves behind, so drawing even one speculative tail gap past
+// the end of the I array would shift every D fault. The kernel therefore
+// draws exactly as many uniforms as Generate does — one per fault plus
+// the terminating overshoot — and keeps math.Log and the logQ division
+// (not a reciprocal multiply) because the float results feed int() and a
+// one-ulp difference can move a fault by one cell.
+
+import (
+	"math"
+
+	"vccmin/internal/geom"
+	"vccmin/internal/lfrand"
+)
+
+// denseInject injects Bernoulli(pfail) faults into the empty (or reset)
+// map m by geometric gap sampling on rng, reproducing Generate's value
+// stream exactly; with track set it appends one dirty record per fault —
+// block<<3 | pair-mask word — so DenseSampler can undo exactly the
+// stores each fault made.
+func denseInject(m *Map, pfail float64, rng *lfrand.Source, dirty []int32, track bool) []int32 {
+	if pfail <= 0 {
+		return dirty
+	}
+	total := m.Geom.TotalCells()
+	if pfail >= 1 {
+		for i := 0; i < total; i++ {
+			m.addFault(i)
+		}
+		if track {
+			// Saturated maps dirty every pair-mask word of every block.
+			for b := range m.Blocks {
+				for w := int32(0); w < 8; w++ {
+					dirty = append(dirty, int32(b)<<3|w)
+				}
+			}
+		}
+		return dirty
+	}
+	var (
+		k        = m.Geom.CellsPerBlock()
+		invK     = 1 / float64(k)
+		dataBits = m.Geom.DataBits()
+		wordBits = m.WordBits
+		logQ     = math.Log1p(-pfail)
+		cell     = -1
+	)
+	for {
+		u := rng.Float64()
+		if u == 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		cell += 1 + int(math.Log(u)/logQ)
+		if cell >= total || cell < 0 { // < 0 guards int overflow on absurd skips
+			return dirty
+		}
+		block := int(float64(cell) * invK)
+		if block*k > cell {
+			block--
+		} else if (block+1)*k <= cell {
+			block++
+		}
+		bf := &m.Blocks[block]
+		pairWord := 0
+		if offset := cell - block*k; offset < dataBits {
+			bf.WordMask |= 1 << uint(offset/wordBits)
+			pair := offset >> 1
+			pairWord = pair >> 6
+			bf.PairMask[pairWord] |= 1 << uint(pair&63)
+		} else {
+			bf.TagFaulty = true
+		}
+		bf.Cells++
+		m.Total++
+		m.faulty[block>>6] |= 1 << uint(block&63)
+		if track {
+			dirty = append(dirty, int32(block<<3|pairWord))
+		}
+	}
+}
+
+// DenseSampler amortizes dense fault-map allocations across Monte Carlo
+// draws, exactly as Sampler does for the sparse family: one Map buffer,
+// one dirty record per fault of the previous draw, allocation-free
+// steady state. Not safe for concurrent use; give each worker its own.
+type DenseSampler struct {
+	m     *Map
+	rng   lfrand.Source
+	dirty []int32 // block<<3 | pair-mask word, one per fault of the last draw
+}
+
+// Draw returns the fault map for (g, wordBits, pfail, seed), reusing the
+// sampler's buffer when the geometry and word size match the previous
+// draw. The returned map is byte-identical to GenerateMap at the same
+// parameters, and ALIASES the sampler: it is valid until the next Draw.
+func (s *DenseSampler) Draw(g geom.Geometry, wordBits int, pfail float64, seed int64) *Map {
+	if s.m == nil || s.m.Geom != g || s.m.WordBits != wordBits || len(s.m.Blocks) != g.Blocks() {
+		s.m = NewEmpty(g, wordBits)
+	} else if s.m.Total != 0 {
+		for _, e := range s.dirty {
+			block := e >> 3
+			bf := &s.m.Blocks[block]
+			bf.WordMask = 0
+			bf.TagFaulty = false
+			bf.Cells = 0
+			bf.PairMask[e&7] = 0
+			s.m.faulty[block>>6] &^= 1 << uint(block&63)
+		}
+		s.m.Total = 0
+	}
+	s.rng.Seed(seed)
+	s.dirty = denseInject(s.m, pfail, &s.rng, s.dirty[:0], true)
+	return s.m
+}

@@ -15,9 +15,11 @@ package faults
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"vccmin/internal/geom"
+	"vccmin/internal/lfrand"
 )
 
 // BlockFaults records the faulty cells of one block frame.
@@ -63,11 +65,28 @@ type Map struct {
 	WordBits int
 	Blocks   []BlockFaults
 	Total    int // total faulty cells
+
+	// faulty is a word-packed bitset with bit b set iff Blocks[b] contains
+	// at least one faulty cell. It is the dense-path index: FaultyBlocks is
+	// a popcount over it and core.BuildBlockDisable reads whole sets from
+	// it 64 blocks at a time, instead of either walking the ~80-byte
+	// BlockFaults records block by block. Every in-package generator keeps
+	// it in sync (addFault, the sparse and dense inject kernels, the
+	// sampler clears, serialization); code that mutates Blocks directly
+	// must call ReindexBlocks afterwards. It is nil only for a Map literal
+	// assembled outside the package, for which the accessors fall back to
+	// scanning Blocks.
+	faulty []uint64
 }
 
 // NewEmpty returns an all-good fault map for the geometry.
 func NewEmpty(g geom.Geometry, wordBits int) *Map {
-	return &Map{Geom: g, WordBits: wordBits, Blocks: make([]BlockFaults, g.Blocks())}
+	return &Map{
+		Geom:     g,
+		WordBits: wordBits,
+		Blocks:   make([]BlockFaults, g.Blocks()),
+		faulty:   make([]uint64, (g.Blocks()+63)/64),
+	}
 }
 
 // Generate draws a fault map with each of the array's d*k cells faulty
@@ -183,6 +202,9 @@ func (m *Map) addFault(cell int) {
 	}
 	bf.Cells++
 	m.Total++
+	if m.faulty != nil {
+		m.faulty[block>>6] |= 1 << uint(block&63)
+	}
 }
 
 // At returns the fault record for a (set, way) block frame.
@@ -196,6 +218,13 @@ func (m *Map) BlockFaulty(set, way int) bool { return m.At(set, way).Faulty() }
 // FaultyBlocks returns the number of blocks containing at least one faulty
 // cell — the realization of the paper's u.
 func (m *Map) FaultyBlocks() int {
+	if m.faulty != nil {
+		n := 0
+		for _, w := range m.faulty {
+			n += bits.OnesCount64(w)
+		}
+		return n
+	}
 	n := 0
 	for _, b := range m.Blocks {
 		if b.Faulty() {
@@ -203,6 +232,53 @@ func (m *Map) FaultyBlocks() int {
 		}
 	}
 	return n
+}
+
+// ReindexBlocks rebuilds the faulty-block bitset from the Blocks slice.
+// The generators maintain the bitset incrementally; call this only after
+// editing Blocks records by hand (tests building pathological maps do).
+func (m *Map) ReindexBlocks() {
+	if m.faulty == nil {
+		m.faulty = make([]uint64, (len(m.Blocks)+63)/64)
+	}
+	for i := range m.faulty {
+		m.faulty[i] = 0
+	}
+	for i := range m.Blocks {
+		if m.Blocks[i].Cells > 0 {
+			m.faulty[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// FaultyWays returns a bitmask with bit w set iff block (set, way w) has
+// any faulty cell — the per-set slice of the faulty-block bitset that
+// block-disabling inverts into a way-enable mask. Block indices of one
+// set are contiguous (BlockIndex = set·Ways + way), so the mask is at
+// most two bitset words re-aligned; the fallback for externally
+// assembled maps scans the set's BlockFaults.
+func (m *Map) FaultyWays(set int) uint64 {
+	ways := m.Geom.Ways
+	if m.faulty == nil {
+		var mask uint64
+		base := set * ways
+		for w := 0; w < ways; w++ {
+			if m.Blocks[base+w].Faulty() {
+				mask |= 1 << uint(w)
+			}
+		}
+		return mask
+	}
+	bit := uint(set * ways)
+	off := bit & 63
+	v := m.faulty[bit>>6] >> off
+	if off+uint(ways) > 64 {
+		v |= m.faulty[bit>>6+1] << (64 - off)
+	}
+	if ways < 64 {
+		v &= 1<<uint(ways) - 1
+	}
+	return v
 }
 
 // CapacityFraction returns the fraction of fault-free blocks, the capacity
@@ -240,13 +316,17 @@ type Pair struct {
 	I, D *Map
 }
 
-// GeneratePair draws an I/D map pair from a single seed.
+// GeneratePair draws an I/D map pair from a single seed. The draw runs on
+// the dense fast path (see dense.go) and is byte-identical to seeding a
+// math/rand source and calling Generate for I then D.
 func GeneratePair(ig, dg geom.Geometry, wordBits int, pfail float64, seed int64) Pair {
-	rng := rand.New(rand.NewSource(seed))
-	return Pair{
-		I: Generate(ig, wordBits, pfail, rng),
-		D: Generate(dg, wordBits, pfail, rng),
-	}
+	var rng lfrand.Source
+	rng.Seed(seed)
+	i := NewEmpty(ig, wordBits)
+	denseInject(i, pfail, &rng, nil, false)
+	d := NewEmpty(dg, wordBits)
+	denseInject(d, pfail, &rng, nil, false)
+	return Pair{I: i, D: d}
 }
 
 // GenerateMap draws a single uniform fault map from one seed — the
@@ -254,5 +334,9 @@ func GeneratePair(ig, dg geom.Geometry, wordBits int, pfail float64, seed int64)
 // GeneratePair at the same seed (both consume the same rng prefix), so
 // existing seeded results are unchanged.
 func GenerateMap(g geom.Geometry, wordBits int, pfail float64, seed int64) *Map {
-	return Generate(g, wordBits, pfail, rand.New(rand.NewSource(seed)))
+	m := NewEmpty(g, wordBits)
+	var rng lfrand.Source
+	rng.Seed(seed)
+	denseInject(m, pfail, &rng, nil, false)
+	return m
 }

@@ -55,11 +55,20 @@ func Read(r io.Reader) (*Map, error) {
 		return nil, fmt.Errorf("faults: %d block records for a %d-block geometry",
 			len(f.Blocks), f.Geometry.Blocks())
 	}
-	m := &Map{Geom: f.Geometry, WordBits: f.WordBits, Blocks: f.Blocks, Total: f.Total}
+	m := &Map{
+		Geom:     f.Geometry,
+		WordBits: f.WordBits,
+		Blocks:   f.Blocks,
+		Total:    f.Total,
+		faulty:   make([]uint64, (len(f.Blocks)+63)/64),
+	}
 	sum := 0
 	for i, b := range m.Blocks {
 		if b.Cells < 0 {
 			return nil, fmt.Errorf("faults: block %d has negative cell count", i)
+		}
+		if b.Cells > 0 {
+			m.faulty[i>>6] |= 1 << uint(i&63)
 		}
 		sum += b.Cells
 	}

@@ -116,17 +116,24 @@ func injectSparse(m *Map, pfail float64, st *sparseStream, dirty []int32, track 
 		wordBits = m.WordBits
 		invLogQ  = 1 / math.Log1p(-pfail)
 		cell     = -1
+		raws     [32]uint64
 		gaps     [32]int
 	)
-	// Gaps are drawn in batches: the pure-arithmetic loop pipelines the
-	// log chains back to back with no memory traffic interleaved, which
-	// measures ~35% faster than fusing sampling and map updates in one
-	// loop. The stream cost of a batch's unused tail draws at map end is
-	// noise, and determinism is unaffected — the draw count is a pure
-	// function of the seed.
+	// Gaps are drawn in batches, and the raw SplitMix64 draws are batched
+	// ahead of the float math: the integer-only fill loop is a pure
+	// three-multiply recurrence the CPU pipelines back to back, and the
+	// float loop then runs its log chains with no generator state updates
+	// interleaved — together ~35% faster than fusing sampling and map
+	// updates in one loop. The stream cost of a batch's unused tail draws
+	// at map end is noise, and determinism is unaffected — the draw count
+	// is a pure function of the seed (FuzzSamplerBatched pins the batched
+	// stream to the one-at-a-time reference).
 	for {
+		for j := range raws {
+			raws[j] = st.next()
+		}
 		for j := range gaps {
-			u := st.float64()
+			u := float64(raws[j]>>11) * 0x1p-53
 			if u == 0 {
 				u = 0x1p-53
 			}
@@ -167,6 +174,7 @@ func injectSparse(m *Map, pfail float64, st *sparseStream, dirty []int32, track 
 			}
 			bf.Cells++
 			m.Total++
+			m.faulty[block>>6] |= 1 << uint(block&63)
 			if track {
 				// Appending without deduplicating keeps this branch
 				// perfectly predicted; Sampler's clear is idempotent per
@@ -220,11 +228,13 @@ func (s *Sampler) Draw(g geom.Geometry, wordBits int, pfail float64, seed int64)
 		s.m = NewEmpty(g, wordBits)
 	} else if s.m.Total != 0 {
 		for _, e := range s.dirty {
-			bf := &s.m.Blocks[e>>3]
+			block := e >> 3
+			bf := &s.m.Blocks[block]
 			bf.WordMask = 0
 			bf.TagFaulty = false
 			bf.Cells = 0
 			bf.PairMask[e&7] = 0
+			s.m.faulty[block>>6] &^= 1 << uint(block&63)
 		}
 		s.m.Total = 0
 	}

@@ -163,6 +163,9 @@ type CPU struct {
 	curFetchBlk geom.Addr
 
 	stats Stats
+
+	// scratch is Run's decode buffer (see Run for why it is not a local).
+	scratch trace.Instr
 }
 
 // Stats aggregates the run.
@@ -224,6 +227,34 @@ func MustNew(cfg Config, icache, dcache *cache.Cache) *CPU {
 	return c
 }
 
+// Reset returns the core to its just-built microarchitectural state:
+// empty rings, idle functional units, cold predictors, zeroed statistics.
+// The configuration and the cache bindings are kept (the caches are NOT
+// reset — callers owning the hierarchy reset it themselves, e.g.
+// sim.System.Reset). A Run after Reset is bit-identical to a Run on a
+// freshly built CPU over the same caches.
+func (c *CPU) Reset() {
+	c.completeAt = [robRing]uint64{}
+	c.commitAt = [robRing]uint64{}
+	c.seq = 0
+	c.intIssueAt = [iqRing]uint64{}
+	c.fpIssueAt = [iqRing]uint64{}
+	c.intSeq, c.fpSeq = 0, 0
+	c.intALU.free = [maxFU]uint64{}
+	c.intMult.free = [maxFU]uint64{}
+	c.fpALU.free = [maxFU]uint64{}
+	c.fpMult.free = [maxFU]uint64{}
+	c.issuedTag = [widthRing]uint64{}
+	c.issuedCount = [widthRing]uint16{}
+	c.fetchCycle = 0
+	c.fetchedNow = 0
+	c.curFetchBlk = ^geom.Addr(0)
+	c.stats = Stats{}
+	c.gshare.Reset()
+	c.btb.Reset()
+	c.ras.Reset()
+}
+
 // Run simulates n instructions from gen and returns statistics for this
 // call only. Consecutive calls continue from the warm microarchitectural
 // state (predictors, ring history), so callers can warm up with one Run
@@ -233,10 +264,14 @@ func (c *CPU) Run(gen trace.Generator, n int) Stats {
 	startSeq := c.seq
 	startCycles := c.lastCommit()
 	c.stats = Stats{}
-	var ins trace.Instr
+	// The decode scratch lives on the CPU, not the stack: its address
+	// passes through the Generator interface, so a local would escape and
+	// cost one heap allocation per Run — the difference between an
+	// allocation-free and an allocating scheduler chunk loop.
+	ins := &c.scratch
 	for i := 0; i < n; i++ {
-		gen.Next(&ins)
-		c.step(&ins)
+		gen.Next(ins)
+		c.step(ins)
 	}
 	c.stats.Instructions = c.seq - startSeq
 	c.stats.Cycles = c.lastCommit() - startCycles

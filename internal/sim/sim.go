@@ -191,6 +191,21 @@ type System struct {
 	iCap, dCap float64
 }
 
+// Reset returns the whole machine to its just-built state — cold caches
+// and predictors, empty pipeline rings, zeroed statistics — while keeping
+// the assembled configuration: geometries, latencies, way-enable maps and
+// the victim cache wiring survive. A Run after Reset is bit-identical to
+// a Run on a freshly Built system with the same Options, which is what
+// lets the dvfs probe reuse one system per mode across phases instead of
+// rebuilding the hierarchy for every (mode, phase) cell.
+func (s *System) Reset() {
+	s.ICache.Reset()
+	s.DCache.Reset()
+	s.L2.Reset()
+	s.Mem.Accesses = 0
+	s.CPU.Reset()
+}
+
 // Build assembles the system for opts without running it.
 func Build(opts Options) (*System, error) {
 	machine := Reference(opts.Mode)

@@ -68,6 +68,17 @@ func (p *PhasedGenerator) Remaining() int {
 // Phases returns the segment count.
 func (p *PhasedGenerator) Phases() int { return len(p.segs) }
 
+// Reset rewinds the phase sequencing to the first segment's start, as if
+// no instruction had been drawn. It does NOT touch the segment
+// generators' internal state — callers replaying a stream reset those
+// too (workload.Generator.Reset), since a segment generator continues
+// from wherever its last draw left it.
+func (p *PhasedGenerator) Reset() {
+	p.idx = 0
+	p.left = p.segs[0].Instructions
+	p.started = false
+}
+
 // Next implements Generator.
 func (p *PhasedGenerator) Next(out *Instr) {
 	if !p.started {

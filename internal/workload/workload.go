@@ -21,8 +21,8 @@ package workload
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"vccmin/internal/lfrand"
 	"vccmin/internal/trace"
 )
 
@@ -124,18 +124,24 @@ const (
 	l1Sets    = 64 // reference L1 set count, used by hot-set placement
 )
 
-// Generator draws the dynamic stream of a profile.
+// Generator draws the dynamic stream of a profile. Its PRNG is an
+// lfrand.Source — byte-identical to the math/rand stream the package
+// has always used, but a concrete inlinable value with allocation-free
+// reseeding — and its per-site branch state lives in a slice sized to
+// the profile's static branch population, so steady-state generation
+// (and Reset) never touches the heap.
 type Generator struct {
 	prof Profile
-	rng  *rand.Rand
+	rng  lfrand.Source
 
 	pc        uint64
 	coldNext  uint64
 	cumReuse  []float64 // cumulative component weights
 	depP      float64   // geometric parameter for dependence distances
+	logQdep   float64   // ln(1-depP), hoisted out of depDist
 	footBytes uint64
-	sinceLoad int // instructions since the last load (for load chains)
-	sites     map[uint64]*siteState
+	sinceLoad int         // instructions since the last load (for load chains)
+	sites     []siteState // indexed by site id; period 0 = not yet visited
 }
 
 // siteState tracks a static branch's position in its outcome pattern.
@@ -164,13 +170,14 @@ func NewGenerator(prof Profile, seed int64) (*Generator, error) {
 	}
 	g := &Generator{
 		prof:      prof,
-		rng:       rand.New(rand.NewSource(seed ^ int64(hash64(prof.Name)))),
 		pc:        codeBase,
 		coldNext:  coldBase,
 		depP:      1 / prof.MeanDepDist,
 		footBytes: uint64(prof.IFootprintBlocks) * blockSize,
-		sites:     make(map[uint64]*siteState),
+		sites:     make([]siteState, prof.StaticBranches),
 	}
+	g.rng.Seed(seed ^ int64(hash64(prof.Name)))
+	g.logQdep = math.Log(1 - g.depP)
 	total := 0.0
 	for _, c := range prof.Reuse {
 		total += c.Weight
@@ -181,6 +188,21 @@ func NewGenerator(prof Profile, seed int64) (*Generator, error) {
 		g.cumReuse = append(g.cumReuse, cum)
 	}
 	return g, nil
+}
+
+// Reset rewinds the generator to the state NewGenerator(prof, seed)
+// would construct, reusing every buffer: after Reset the generator
+// emits the identical stream a fresh generator for the same (profile,
+// seed) would. It allocates nothing, which is what lets the dvfs
+// scheduler's chunk loop re-run a workload without touching the heap.
+func (g *Generator) Reset(seed int64) {
+	g.rng.Seed(seed ^ int64(hash64(g.prof.Name)))
+	g.pc = codeBase
+	g.coldNext = coldBase
+	g.sinceLoad = 0
+	for i := range g.sites {
+		g.sites[i] = siteState{}
+	}
 }
 
 // MustNewGenerator is NewGenerator but panics on error.
@@ -266,10 +288,13 @@ func (g *Generator) aluClass(pc uint64) trace.Class {
 // for the RandomBranchFrac of sites that are data-dependent coin flips.
 func (g *Generator) genBranch(out *trace.Instr) {
 	site := hash64Mix(out.PC) % uint64(g.prof.StaticBranches)
-	st, ok := g.sites[site]
-	if !ok {
+	st := &g.sites[site]
+	if st.period == 0 {
+		// First visit: derive the site's fixed character. Everything here
+		// comes from hash mixes, never the rng, so lazily initializing a
+		// site does not perturb the draw stream (Reset relies on this).
 		siteRand := float64(hash64Mix(site+0x9E3779B9)) / float64(math.MaxUint64)
-		st = &siteState{period: 3 + uint32(hash64Mix(site+0xABCD)%29)}
+		st.period = 3 + uint32(hash64Mix(site+0xABCD)%29)
 		switch {
 		case siteRand < g.prof.RandomBranchFrac:
 			st.kind = siteRandom
@@ -278,7 +303,6 @@ func (g *Generator) genBranch(out *trace.Instr) {
 		default:
 			st.kind = siteGuard
 		}
-		g.sites[site] = st
 	}
 	switch st.kind {
 	case siteRandom:
@@ -341,7 +365,7 @@ func (g *Generator) depDist() int32 {
 	if u == 0 {
 		u = math.SmallestNonzeroFloat64
 	}
-	d := 1 + int32(math.Log(u)/math.Log(1-g.depP))
+	d := 1 + int32(math.Log(u)/g.logQdep)
 	if d > 64 {
 		d = 64
 	}

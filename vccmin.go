@@ -533,6 +533,14 @@ func MeasuredBlockDisableCapacityWorkers(g Geometry, pfail float64, trials int, 
 	return experiments.MeasuredBlockDisableCapacityWorkers(g, pfail, trials, seed, workers)
 }
 
+// MeasuredBlockDisableCapacityDenseSerial is the dense-stream, serial
+// analogue of MeasuredBlockDisableCapacity: per-trial maps are
+// byte-identical to GenerateFaultMap at the derived trial seeds, drawn
+// through one reused buffer so steady-state trials allocate nothing.
+func MeasuredBlockDisableCapacityDenseSerial(g Geometry, pfail float64, trials int, seed int64) float64 {
+	return experiments.MeasuredBlockDisableCapacityDenseSerial(g, pfail, trials, seed)
+}
+
 // ---- Extensions: bit-fix and disabling granularity ----
 
 // BitFixResult classifies a fault map for the bit-fix scheme (the other
