@@ -5,7 +5,7 @@ COVER_FLOOR ?= 75
 # Per-target budget for the `make fuzz` smoke run.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-json bench-gate diff-race fmt vet doc-check link-check api-check check fuzz cover serve sweep-demo loadgen-smoke ci
+.PHONY: build test race bench bench-json bench-gate diff-race fmt vet doc-check link-check api-check clean-check check fuzz cover serve sweep-demo loadgen-smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -73,8 +73,17 @@ link-check:
 api-check:
 	$(GO) run ./internal/tools/apicheck
 
+# No tracked file may match .gitignore: build artifacts (cover.out,
+# BENCH_ci.json, serve data) must never be committed.
+clean-check:
+	@out="$$(git ls-files -ci --exclude-standard)"; \
+	if [ -n "$$out" ]; then \
+		echo "clean-check: tracked files matching .gitignore:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "clean-check: no gitignored path is tracked"
+
 # The static quality gate CI runs before the test jobs.
-check: vet fmt doc-check link-check api-check
+check: vet fmt doc-check link-check api-check clean-check
 
 # Short fuzz smoke over the checkpoint readers and the batched sparse
 # sampler (go test allows one fuzz target per invocation, hence the
@@ -116,4 +125,12 @@ loadgen-smoke:
 	$(GO) run ./cmd/vccmin-loadgen -self -rate 200 -requests 600 \
 		-json loadgen-smoke.json -bench-out loadgen-smoke.txt
 
-ci: build check race bench sweep-demo loadgen-smoke cover
+# Fleet population smoke: a 2000-die sweep and a prediction study
+# through the vccmin-fleet CLI (the same tasks GET/POST /v1/fleet run).
+fleet-smoke:
+	$(GO) run ./cmd/vccmin-fleet -dies 2000 -schemes block,word -seed 7 \
+		-out /tmp/fleet-smoke.json
+	$(GO) run ./cmd/vccmin-fleet -predict 6 -dies 2000 -sample 64 -seed 7 \
+		-out /tmp/fleet-predict-smoke.json
+
+ci: build check race bench sweep-demo loadgen-smoke fleet-smoke cover

@@ -1,0 +1,157 @@
+// Command vccmin-fleet sweeps a simulated manufactured fleet: every die
+// draws its own failure-probability multiplier from a wafer-level
+// lognormal distribution (inter-wafer mean × intra-wafer radial
+// gradient × die noise) and bisects its minimum operating voltage under
+// each fault-tolerance scheme. The output is the fleet's Vcc-min
+// distribution, yield-versus-voltage curve and per-wafer summaries —
+// or, with -predict, a data-efficient prediction study that estimates
+// each sampled die's Vcc-min from K adaptive pass/fail measurements and
+// reports error quantiles against ground truth.
+//
+// The command is a thin adapter over the engine task layer: it
+// constructs the same fleet-sweep (or vccmin-predict) task the server's
+// GET/POST /v1/fleet and POST /v1/batch construct, so the emitted
+// document is byte-identical (modulo -pretty whitespace) to the
+// server's for the same parameters — and with -result-cache pointed at
+// a directory, repeated invocations replay the stored bytes instead of
+// re-simulating.
+//
+// Usage:
+//
+//	vccmin-fleet                                   # 1000-die fleet, JSON to stdout
+//	vccmin-fleet -dies 100000 -schemes block,word  # big fleet, two schemes
+//	vccmin-fleet -dies 10000 -wafer-sigma 0.4      # wilder inter-wafer variation
+//	vccmin-fleet -include-dies -out fleet.json     # keep the per-die rows
+//	vccmin-fleet -predict 6 -sample 256            # Vcc-min prediction study, K=6
+//	vccmin-fleet -result-cache ~/.cache/vccmin     # persistent cross-run result reuse
+//
+// Scheme flags take comma-separated values. Workers only changes
+// scheduling: results are bit-identical at any -workers value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vccmin/internal/cliflag"
+	"vccmin/internal/clirun"
+	"vccmin/internal/tasks"
+)
+
+func main() {
+	var (
+		dies         = flag.Int("dies", 0, "fleet size in dies (0 = default 1000)")
+		diesPerWafer = flag.Int("dies-per-wafer", 0, "wafer capacity (0 = default 64)")
+		schemes      = flag.String("schemes", "", "schemes to certify each die under, comma list (default block,word)")
+		waferSigma   = flag.Float64("wafer-sigma", 0, "lognormal sigma of the per-wafer mean multiplier (0 = default 0.25)")
+		gradient     = flag.Float64("gradient", 0, "intra-wafer radial log-multiplier span (0 = default 0.4)")
+		dieSigma     = flag.Float64("die-sigma", 0, "lognormal sigma of the per-die noise (0 = default 0.15)")
+		floor        = flag.Float64("capacity-floor", 0, "surviving-capacity fraction a capacity scheme must retain (0 = default 0.75)")
+		vsteps       = flag.Int("vsteps", 0, "voltage grid points between Vcc-min and the floor (0 = default 33)")
+		geometry     = flag.String("geom", "", "cache geometry SIZExWAYSxBLOCK (default 32768x8x64)")
+		seed         = flag.Int64("seed", 1, "fleet base seed; every wafer and die stream derives from it")
+		includeDies  = flag.Bool("include-dies", false, "include the per-die rows in the output")
+		predict      = flag.Int("predict", 0, "run a prediction study with this measurement budget K instead of a fleet sweep")
+		sample       = flag.Int("sample", 0, "prediction study: dies sampled across the fleet (0 = default 128)")
+		workers      = flag.Int("workers", 0, "fan-out goroutines (0 = GOMAXPROCS); never changes results")
+		out          = flag.String("out", "", "output JSON file (empty = stdout)")
+		pretty       = flag.Bool("pretty", true, "indent the JSON (false emits the server's exact compact bytes)")
+		cacheDir     = clirun.ResultCacheFlag()
+		version      = clirun.VersionFlag()
+	)
+	flag.Parse()
+	if clirun.HandleVersion(version) {
+		return
+	}
+
+	eng, err := clirun.NewEngine(*cacheDir)
+	if err != nil {
+		clirun.Fatal("vccmin-fleet", err)
+	}
+
+	if *predict > 0 {
+		schemeList := cliflag.Split(*schemes)
+		req := tasks.PredictRequest{
+			Dies:         *dies,
+			DiesPerWafer: *diesPerWafer,
+			Geometry:     *geometry,
+			Seed:         *seed,
+			K:            *predict,
+			Sample:       *sample,
+			Workers:      *workers,
+		}
+		if len(schemeList) > 1 {
+			clirun.Fatal("vccmin-fleet", fmt.Errorf("-predict takes one scheme, got %d", len(schemeList)))
+		}
+		if len(schemeList) == 1 {
+			req.Scheme = schemeList[0]
+		}
+		setIfNonZero(&req.WaferSigma, *waferSigma)
+		setIfNonZero(&req.Gradient, *gradient)
+		setIfNonZero(&req.DieSigma, *dieSigma)
+		setIfNonZero(&req.CapacityFloor, *floor)
+		task, err := tasks.NewPredictTask(req)
+		if err != nil {
+			clirun.Fatal("vccmin-fleet", err)
+		}
+		res, err := clirun.RunTask(eng, "vccmin-fleet", task)
+		if err != nil {
+			clirun.Fatal("vccmin-fleet", err)
+		}
+		if err := clirun.WriteOutput(*out, res.Bytes, *pretty); err != nil {
+			clirun.Fatal("vccmin-fleet", err)
+		}
+		var resp tasks.PredictResponse
+		if err := res.Decode(&resp); err != nil {
+			clirun.Fatal("vccmin-fleet", err)
+		}
+		fmt.Fprintf(os.Stderr, "predict: %d dies sampled, k=%d, mean |err| %.4g V (p99 %.4g, bound %.4g)\n",
+			resp.Sample, resp.K, resp.MeanAbsError, resp.P99, resp.BracketBound)
+		return
+	}
+
+	req := tasks.FleetRequest{
+		Dies:         *dies,
+		DiesPerWafer: *diesPerWafer,
+		Schemes:      cliflag.Split(*schemes),
+		VSteps:       *vsteps,
+		Geometry:     *geometry,
+		Seed:         *seed,
+		IncludeDies:  *includeDies,
+		Workers:      *workers,
+	}
+	setIfNonZero(&req.WaferSigma, *waferSigma)
+	setIfNonZero(&req.Gradient, *gradient)
+	setIfNonZero(&req.DieSigma, *dieSigma)
+	setIfNonZero(&req.CapacityFloor, *floor)
+	task, err := tasks.NewFleetTask(req)
+	if err != nil {
+		clirun.Fatal("vccmin-fleet", err)
+	}
+	res, err := clirun.RunTask(eng, "vccmin-fleet", task)
+	if err != nil {
+		clirun.Fatal("vccmin-fleet", err)
+	}
+	if err := clirun.WriteOutput(*out, res.Bytes, *pretty); err != nil {
+		clirun.Fatal("vccmin-fleet", err)
+	}
+
+	var resp tasks.FleetResponse
+	if err := res.Decode(&resp); err != nil {
+		clirun.Fatal("vccmin-fleet", err)
+	}
+	for _, sy := range resp.Schemes {
+		fmt.Fprintf(os.Stderr, "fleet: %s: %d/%d dies reach the floor, %d fail at nominal, p99 Vcc-min %.4g V\n",
+			sy.Scheme, sy.ReachFloor, resp.Dies, sy.FailedAtNominal, sy.P99)
+	}
+}
+
+// setIfNonZero materializes an optional float flag: 0 means "take the
+// population default" and stays nil in the request.
+func setIfNonZero(dst **float64, v float64) {
+	if v != 0 {
+		val := v
+		*dst = &val
+	}
+}

@@ -2,6 +2,7 @@ package vccmin_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -11,6 +12,7 @@ import (
 
 	"vccmin"
 	"vccmin/internal/benchreg"
+	"vccmin/internal/tasks"
 )
 
 // The golden-regression corpus pins byte-stable outputs under
@@ -275,6 +277,46 @@ func TestGoldenDVFSFrontier(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "dvfs_frontier.json", append(got, '\n'))
+}
+
+// TestGoldenFleetYield pins the fleet-sweep contract for a 10k-die
+// fleet across two schemes: the exact bytes /v1/fleet and vccmin-fleet
+// emit (grid, Vcc-min histograms, yield-versus-voltage curves,
+// quantiles, per-wafer summaries and the canonical hash), proven
+// byte-identical at workers=1 and workers=4 before comparing against
+// the committed fixture.
+func TestGoldenFleetYield(t *testing.T) {
+	task, err := tasks.NewFleetTask(tasks.FleetRequest{
+		Dies:    10_000,
+		Schemes: []string{"block", "word"},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Spec.Workers = 4
+	parallel, err := task.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	task.Spec.Workers = 1
+	serial, err := task.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialBytes, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, serialBytes) {
+		t.Fatal("fleet response differs between workers=4 and workers=1")
+	}
+	checkGolden(t, "fleet_yield.json", append(got, '\n'))
 }
 
 // TestGoldenResumeStitch proves the golden stream is reachable through the

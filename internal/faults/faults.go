@@ -207,6 +207,12 @@ func (m *Map) addFault(cell int) {
 	}
 }
 
+// AddFault marks linear cell index faulty. Exported for builders that
+// assemble maps from externally drawn fault populations (e.g.
+// internal/population's per-die severity draws); like the in-package
+// generators, callers must pass distinct cells.
+func (m *Map) AddFault(cell int) { m.addFault(cell) }
+
 // At returns the fault record for a (set, way) block frame.
 func (m *Map) At(set, way int) BlockFaults {
 	return m.Blocks[m.Geom.BlockIndex(set, way)]

@@ -1,0 +1,400 @@
+// Package population models fleet-scale process variation on top of
+// the paper's single-chip fault model: instead of every simulated chip
+// sharing one global pfail, each die of a manufactured fleet carries
+// its own failure-probability multiplier drawn from a wafer-level
+// lognormal distribution composed with an intra-wafer spatial gradient
+// and per-die noise (in the spirit of the inter-/intra-wafer variation
+// alignment of arXiv 2408.06254). From that population the package
+// measures the fleet's Vcc-min distribution and yield-versus-voltage
+// curves under each fault-tolerance scheme, and runs a data-efficient
+// predictor that estimates a die's minimum operating voltage from K
+// sampled (voltage, pass/fail) measurements.
+//
+// Determinism contract: every random quantity derives from the fleet
+// seed through faults.DeriveSeed — the wafer mean from ("wafer", w),
+// the die noise and fault population from ("fleet-die", d) — so any
+// die is reproducible in isolation, fleets shard over workers with
+// bit-identical results at every worker count, and the whole layer is
+// golden-testable.
+//
+// Physical model: a die's latent fault population is drawn once at the
+// voltage floor's effective pfail, with an iid severity attached to
+// each faulty cell. The cells active at voltage v are those whose
+// severity falls below pfail(v)/pfail(floor), so fault sets are nested
+// as voltage falls — exactly the monotone pass/fail structure real
+// Vcc-min characterization relies on, and what lets both the fleet
+// sweep and the predictor bisect instead of scanning.
+package population
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strconv"
+
+	"vccmin/internal/core"
+	"vccmin/internal/faults"
+	"vccmin/internal/geom"
+	"vccmin/internal/power"
+	"vccmin/internal/sim"
+)
+
+// Variation parameterizes the die-to-die pfail multiplier model. A
+// die's multiplier is exp(waferMu + gradient + dieNoise): waferMu ~
+// N(0, WaferSigma²) shared by every die of a wafer, gradient a radial
+// intra-wafer term growing toward the wafer edge with peak-to-center
+// log-range Gradient, and dieNoise ~ N(0, DieSigma²) per die.
+type Variation struct {
+	// WaferSigma is the lognormal sigma of the per-wafer mean
+	// multiplier (inter-wafer variation).
+	WaferSigma float64 `json:"wafer_sigma"`
+	// Gradient is the intra-wafer radial term's log-multiplier span:
+	// center dies see about -Gradient/2, edge dies about +Gradient/2.
+	Gradient float64 `json:"gradient"`
+	// DieSigma is the lognormal sigma of the per-die noise
+	// (intra-wafer, position-independent variation).
+	DieSigma float64 `json:"die_sigma"`
+}
+
+// FleetSpec configures one fleet measurement: the die population, the
+// schemes to certify each die under, and the voltage grid.
+type FleetSpec struct {
+	// Dies is the fleet size; wafers are filled in die-index order.
+	Dies int
+	// DiesPerWafer sets the wafer capacity; dies lay out on a
+	// near-square grid for the spatial gradient.
+	DiesPerWafer int
+	// Geom is the L1 array the fault model strikes; default the
+	// paper's 32 KB / 8-way / 64 B reference.
+	Geom geom.Geometry
+	// Model is the voltage/pfail coupling; default power.Default().
+	Model power.Model
+	// Variation is the multiplier model; zero fields take the
+	// defaults (0.25 / 0.4 / 0.15).
+	Variation Variation
+	// Schemes are the fault-tolerance schemes each die is certified
+	// under; default block-disable and word-disable.
+	Schemes []sim.Scheme
+	// VSteps is the voltage grid resolution between the model's
+	// Vcc-min and its floor, inclusive; default 33.
+	VSteps int
+	// CapacityFloor is the surviving-capacity fraction a capacity
+	// scheme (block, inc-word) must retain to pass; default 0.75.
+	CapacityFloor float64
+	// Seed is the fleet's base seed; every per-wafer and per-die
+	// stream derives from it. Default 1.
+	Seed int64
+	// Workers bounds the fan-out goroutines (0 = GOMAXPROCS). It
+	// never changes results, only scheduling.
+	Workers int
+}
+
+// Default variation and grid parameters.
+const (
+	DefaultWaferSigma    = 0.25
+	DefaultGradient      = 0.4
+	DefaultDieSigma      = 0.15
+	DefaultVSteps        = 33
+	DefaultCapacityFloor = 0.75
+	DefaultDiesPerWafer  = 64
+)
+
+// WithDefaults returns the spec with every zero field defaulted — the
+// form RunFleet evaluates and the canonical task hash digests.
+func (s FleetSpec) WithDefaults() FleetSpec {
+	if s.Dies == 0 {
+		s.Dies = 1000
+	}
+	if s.DiesPerWafer == 0 {
+		s.DiesPerWafer = DefaultDiesPerWafer
+	}
+	if s.Geom == (geom.Geometry{}) {
+		s.Geom = geom.MustNew(32*1024, 8, 64)
+	}
+	if s.Model == (power.Model{}) {
+		s.Model = power.Default()
+	}
+	if s.Variation.WaferSigma == 0 {
+		s.Variation.WaferSigma = DefaultWaferSigma
+	}
+	if s.Variation.Gradient == 0 {
+		s.Variation.Gradient = DefaultGradient
+	}
+	if s.Variation.DieSigma == 0 {
+		s.Variation.DieSigma = DefaultDieSigma
+	}
+	if len(s.Schemes) == 0 {
+		s.Schemes = []sim.Scheme{sim.BlockDisable, sim.WordDisable}
+	}
+	if s.VSteps == 0 {
+		s.VSteps = DefaultVSteps
+	}
+	if s.CapacityFloor == 0 {
+		s.CapacityFloor = DefaultCapacityFloor
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Check validates a defaulted spec.
+func (s FleetSpec) Check() error {
+	switch {
+	case s.Dies <= 0:
+		return fmt.Errorf("population: dies must be positive, got %d", s.Dies)
+	case s.DiesPerWafer <= 0:
+		return fmt.Errorf("population: dies_per_wafer must be positive, got %d", s.DiesPerWafer)
+	case s.VSteps < 2:
+		return fmt.Errorf("population: vsteps %d below minimum 2", s.VSteps)
+	case s.CapacityFloor < 0 || s.CapacityFloor > 1:
+		return fmt.Errorf("population: capacity_floor %v out of [0,1]", s.CapacityFloor)
+	case s.Variation.WaferSigma < 0 || s.Variation.Gradient < 0 || s.Variation.DieSigma < 0:
+		return fmt.Errorf("population: variation parameters must be non-negative, got %+v", s.Variation)
+	case s.Geom.BlockBytes > 128:
+		return fmt.Errorf("population: block size %d B exceeds the fault model's 128 B bound", s.Geom.BlockBytes)
+	case len(s.Schemes) == 0:
+		return fmt.Errorf("population: at least one scheme required")
+	}
+	if err := s.Model.Check(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Grid returns the descending voltage grid: VSteps points from the
+// model's Vcc-min (index 0) down to its floor (last index), inclusive.
+func (s FleetSpec) Grid() []float64 {
+	g := make([]float64, s.VSteps)
+	span := s.Model.VccMin - s.Model.VFloor
+	for i := range g {
+		g[i] = s.Model.VccMin - span*float64(i)/float64(s.VSteps-1)
+	}
+	return g
+}
+
+// Wafers returns the number of wafers the fleet occupies.
+func (s FleetSpec) Wafers() int { return (s.Dies + s.DiesPerWafer - 1) / s.DiesPerWafer }
+
+// DiePosition returns the wafer grid coordinates of die-in-wafer index
+// j: a near-square cols × rows layout filled row-major.
+func (s FleetSpec) DiePosition(j int) (x, y int) {
+	cols := waferCols(s.DiesPerWafer)
+	return j % cols, j / cols
+}
+
+func waferCols(diesPerWafer int) int {
+	return int(math.Ceil(math.Sqrt(float64(diesPerWafer))))
+}
+
+// DieMultiplier returns die d's pfail multiplier: the wafer mean drawn
+// from ("wafer", w), the radial gradient at the die's wafer position,
+// and the die noise drawn from the head of the die's own stream.
+func (s FleetSpec) DieMultiplier(d int) float64 {
+	w := d / s.DiesPerWafer
+	j := d % s.DiesPerWafer
+	waferRng := rand.New(rand.NewSource(faults.DeriveSeed(s.Seed, "wafer", strconv.Itoa(w))))
+	mu := s.Variation.WaferSigma * waferRng.NormFloat64()
+	dieRng := rand.New(rand.NewSource(faults.DeriveSeed(s.Seed, "fleet-die", strconv.Itoa(d))))
+	noise := s.Variation.DieSigma * dieRng.NormFloat64()
+	return math.Exp(mu + s.gradientAt(j) + noise)
+}
+
+// gradientAt returns the intra-wafer radial log-multiplier at
+// die-in-wafer index j: -Gradient/2 at the wafer center rising to
+// about +Gradient/2 at the corners (edge dies run hotter pfail, the
+// usual process signature).
+func (s FleetSpec) gradientAt(j int) float64 {
+	cols := waferCols(s.DiesPerWafer)
+	rows := (s.DiesPerWafer + cols - 1) / cols
+	x, y := s.DiePosition(j)
+	cx := (float64(x)+0.5)/float64(cols) - 0.5
+	cy := (float64(y)+0.5)/float64(rows) - 0.5
+	r2 := 2 * (cx*cx + cy*cy) // 0 at center, ~1 at the corners
+	return s.Variation.Gradient * (r2 - 0.5)
+}
+
+// pfailAt returns the die's effective per-cell failure probability at
+// voltage v: the model's pfail scaled by the die multiplier, clamped
+// into [0,1].
+func (s FleetSpec) pfailAt(mult, v float64) float64 {
+	p := mult * s.Model.Pfail(v)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// prober measures one die at a time, reusing its buffers across dies
+// and voltages; each concurrent worker owns one.
+type prober struct {
+	spec FleetSpec
+
+	// The die's latent fault population at the voltage floor: linear
+	// cell indices plus iid severities. A cell is active at voltage v
+	// iff its severity is at most pfail(v)/pfail(floor), so the fault
+	// set at a lower voltage is a superset of the set at a higher one.
+	cells []int32
+	sev   []float64
+	mult  float64
+	pflr  float64 // effective pfail at the voltage floor
+
+	// Reused fault-map buffer. Built without the internal faulty-block
+	// bitset (the accessors fall back to scanning Blocks), so clearing
+	// is just zeroing the dirty block records.
+	m     *faults.Map
+	dirty []int32
+}
+
+func newProber(spec FleetSpec) *prober {
+	return &prober{
+		spec: spec,
+		m: &faults.Map{
+			Geom:     spec.Geom,
+			WordBits: 32,
+			Blocks:   make([]faults.BlockFaults, spec.Geom.Blocks()),
+		},
+	}
+}
+
+// draw fills the prober with die d's multiplier and latent fault
+// population. The stream is the die's own (seed, "fleet-die", d)
+// stream: one normal for the die noise, then geometric gap sampling at
+// the floor pfail with one severity uniform per fault.
+func (p *prober) draw(d int) {
+	p.mult = p.spec.DieMultiplier(d)
+	p.pflr = p.spec.pfailAt(p.mult, p.spec.Model.VFloor)
+	p.cells = p.cells[:0]
+	p.sev = p.sev[:0]
+	rng := rand.New(rand.NewSource(faults.DeriveSeed(p.spec.Seed, "fleet-die", strconv.Itoa(d))))
+	rng.NormFloat64() // the die-noise draw consumed by DieMultiplier
+	if p.pflr <= 0 {
+		return
+	}
+	total := p.spec.Geom.TotalCells()
+	if p.pflr >= 1 {
+		for c := 0; c < total; c++ {
+			p.cells = append(p.cells, int32(c))
+			p.sev = append(p.sev, rng.Float64())
+		}
+		return
+	}
+	logQ := math.Log1p(-p.pflr)
+	cell := -1
+	for {
+		u := rng.Float64()
+		if u == 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		cell += 1 + int(math.Log(u)/logQ)
+		if cell >= total || cell < 0 {
+			return
+		}
+		p.cells = append(p.cells, int32(cell))
+		p.sev = append(p.sev, rng.Float64())
+	}
+}
+
+// build materializes the fault set active at voltage v into the reused
+// map buffer.
+func (p *prober) build(v float64) {
+	for _, b := range p.dirty {
+		p.m.Blocks[b] = faults.BlockFaults{}
+	}
+	p.dirty = p.dirty[:0]
+	p.m.Total = 0
+	if p.pflr <= 0 {
+		return
+	}
+	ratio := p.spec.pfailAt(p.mult, v) / p.pflr
+	k := p.spec.Geom.CellsPerBlock()
+	for i, c := range p.cells {
+		if p.sev[i] <= ratio {
+			p.m.AddFault(int(c))
+			b := c / int32(k)
+			if n := len(p.dirty); n == 0 || p.dirty[n-1] != b {
+				p.dirty = append(p.dirty, b)
+			}
+		}
+	}
+}
+
+// passAt reports whether the drawn die, operated at voltage v, is
+// certified usable under the scheme: baseline tolerates no fault,
+// word-disable and bit-fix use their whole-cache fitness checks, and
+// the capacity schemes (block, incremental word) must retain at least
+// the spec's capacity floor. Every predicate is monotone in the fault
+// set, so passAt is monotone in v — the property the bisections rely
+// on.
+func (p *prober) passAt(scheme sim.Scheme, v float64) bool {
+	p.build(v)
+	switch scheme {
+	case sim.Baseline:
+		return p.m.Total == 0
+	case sim.WordDisable:
+		return core.EvaluateWordDisable(p.m, core.ReferenceWordDisable()).Fit
+	case sim.BlockDisable:
+		return p.m.CapacityFraction() >= p.spec.CapacityFloor
+	case sim.IncrementalWordDisable:
+		return core.EvaluateIncrementalWD(p.m, core.ReferenceWordDisable()).CapacityFraction() >= p.spec.CapacityFloor
+	case sim.BitFix:
+		return core.EvaluateBitFix(p.m, core.ReferenceBitFix()).Fit
+	}
+	return false
+}
+
+// stepAt returns the deepest grid index (lowest voltage) at which the
+// drawn die passes under the scheme: -1 when it fails at the nominal
+// Vcc-min (grid index 0), len(grid)-1 when it reaches the floor, and
+// otherwise the boundary found by bisection over the monotone grid.
+func (p *prober) stepAt(scheme sim.Scheme, grid []float64) int {
+	if !p.passAt(scheme, grid[0]) {
+		return -1
+	}
+	last := len(grid) - 1
+	if p.passAt(scheme, grid[last]) {
+		return last
+	}
+	lo, hi := 0, last // pass at lo, fail at hi
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.passAt(scheme, grid[mid]) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// thresholdVoltage bisects the continuous pass/fail boundary of the
+// drawn die under the scheme to iters halvings of [VFloor, VccMin] —
+// the predictor's ground truth. The boundary exists and is unique
+// because passAt is monotone in v.
+func (p *prober) thresholdVoltage(scheme sim.Scheme, iters int) float64 {
+	lo, hi := p.spec.Model.VFloor, p.spec.Model.VccMin
+	if !p.passAt(scheme, hi) {
+		return hi
+	}
+	if p.passAt(scheme, lo) {
+		return lo
+	}
+	// Invariant: pass at hi, fail at lo; the threshold is in (lo, hi].
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if p.passAt(scheme, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func defaultWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}

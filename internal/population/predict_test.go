@@ -1,0 +1,83 @@
+package population
+
+import (
+	"testing"
+
+	"vccmin/internal/sim"
+)
+
+// TestPredictConvergence is the property test from the issue: as the
+// measurement budget K grows, the predictor's error against ground
+// truth shrinks, and at every K the worst-case error respects the
+// analytic bisection bracket bound.
+func TestPredictConvergence(t *testing.T) {
+	base := PredictSpec{
+		Fleet:  FleetSpec{Dies: 400, Seed: 11},
+		Scheme: sim.BlockDisable,
+		Sample: 60,
+	}
+	prevBound := 0.0
+	var errAtK = map[int]float64{}
+	for _, k := range []int{1, 3, 6, 10} {
+		spec := base
+		spec.K = k
+		res, err := RunPredict(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sampled != 60 {
+			t.Fatalf("k=%d: sampled %d, want 60", k, res.Sampled)
+		}
+		if res.Max > res.BracketBound+1e-12 {
+			t.Fatalf("k=%d: max error %v exceeds bracket bound %v", k, res.Max, res.BracketBound)
+		}
+		if prevBound != 0 && res.BracketBound >= prevBound {
+			t.Fatalf("k=%d: bracket bound %v did not shrink from %v", k, res.BracketBound, prevBound)
+		}
+		prevBound = res.BracketBound
+		errAtK[k] = res.MeanAbsError
+	}
+	if errAtK[10] > errAtK[1] {
+		t.Fatalf("mean error grew with budget: k=1 %v vs k=10 %v", errAtK[1], errAtK[10])
+	}
+}
+
+// TestPredictWorkerInvariance pins the study's error quantiles across
+// worker counts.
+func TestPredictWorkerInvariance(t *testing.T) {
+	spec := PredictSpec{Fleet: FleetSpec{Dies: 200, Seed: 5}, Scheme: sim.WordDisable, K: 4, Sample: 40}
+	one := spec
+	one.Fleet.Workers = 1
+	eight := spec
+	eight.Fleet.Workers = 8
+	a, err := RunPredict(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPredict(eight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanAbsError != b.MeanAbsError || a.P50 != b.P50 || a.P90 != b.P90 ||
+		a.P99 != b.P99 || a.Max != b.Max {
+		t.Fatalf("predict results differ across worker counts: %+v vs %+v", a, b)
+	}
+}
+
+func TestPredictSpecValidation(t *testing.T) {
+	spec := PredictSpec{Fleet: FleetSpec{Dies: 10}}.WithDefaults()
+	spec.K = 100
+	if err := spec.Check(); err == nil {
+		t.Fatal("Check accepted k=100")
+	}
+	if spec.Sample != 10 {
+		t.Fatalf("sample should cap at fleet size, got %d", spec.Sample)
+	}
+	bad := PredictSpec{Fleet: FleetSpec{Dies: 10, VSteps: 1}.WithDefaults()}
+	bad.Fleet.VSteps = 1
+	bad.K = 4
+	bad.Sample = 4
+	if err := bad.Check(); err == nil {
+		t.Fatal("Check accepted invalid fleet spec")
+	}
+}

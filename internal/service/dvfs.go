@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"net/http"
 
 	"vccmin/internal/cliflag"
@@ -31,17 +32,23 @@ func parseDVFSRequest(r *http.Request) (tasks.DVFSExploreRequest, error) {
 		return req, err
 	}
 	req.Pfail = &pfail
-	seed, err := queryInt(r, "seed", 1)
+	seed, err := queryInt64(r, "seed", 1)
 	if err != nil {
 		return req, err
 	}
-	req.Seed = int64(seed)
+	if seed < 0 {
+		return req, fmt.Errorf("seed %d negative", seed)
+	}
+	req.Seed = seed
 	if req.Scale, err = queryInt(r, "scale", 20_000); err != nil {
 		return req, err
 	}
 	runs, err := queryInt(r, "runs", 0)
 	if err != nil {
 		return req, err
+	}
+	if runs < 0 {
+		return req, fmt.Errorf("runs %d negative", runs)
 	}
 	req.IncludeRuns = runs != 0
 	return req, nil

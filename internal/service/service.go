@@ -240,6 +240,8 @@ func (s *Server) routes() {
 		{"GET", "/v1/operating-point", s.handleOperatingPoint},
 		{"GET", "/v1/overhead", s.handleOverhead},
 		{"GET", "/v1/dvfs", s.handleDVFS},
+		{"GET", "/v1/fleet", s.handleFleet},
+		{"POST", "/v1/fleet", s.handleFleetPost},
 		{"POST", "/v1/sim", s.handleSim},
 		{"POST", "/v1/batch", s.handleBatch},
 		{"POST", "/v1/sweeps", s.handleSweepPost},
@@ -548,6 +550,22 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
+// queryInt64 parses a full-range int64 parameter. Seeds go through
+// this, never queryInt: Atoi is platform-int sized, so a 64-bit seed
+// would silently truncate on a 32-bit build and be rejected on any
+// build past math.MaxInt.
+func queryInt64(r *http.Request, name string, def int64) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
 // ---- Sync endpoints ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -606,8 +624,16 @@ func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	if req.Seed, err = queryInt(r, "seed", 1); err != nil {
+	if req.Trials < 0 {
+		writeErr(w, http.StatusBadRequest, "trials %d negative", req.Trials)
+		return
+	}
+	if req.Seed, err = queryInt64(r, "seed", 1); err != nil {
 		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if req.Seed < 0 {
+		writeErr(w, http.StatusBadRequest, "seed %d negative", req.Seed)
 		return
 	}
 	// workers only changes Monte Carlo scheduling, never the estimate;
@@ -617,6 +643,10 @@ func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
 	// state.
 	if req.Workers, err = queryInt(r, "workers", 0); err != nil {
 		writeErr(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if req.Workers < 0 {
+		writeErr(w, http.StatusBadRequest, "workers %d negative", req.Workers)
 		return
 	}
 	t, err := tasks.NewCapacityTask(req)

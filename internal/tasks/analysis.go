@@ -23,7 +23,7 @@ type CapacityRequest struct {
 	Geometry    string   `json:"geom,omitempty"`  // SIZExWAYSxBLOCK; default reference L1
 	Granularity string   `json:"gran,omitempty"`  // block|set|way; default block
 	Trials      int      `json:"trials,omitempty"`
-	Seed        int      `json:"seed,omitempty"` // default 1
+	Seed        int64    `json:"seed,omitempty"` // default 1
 	Workers     int      `json:"workers,omitempty"`
 }
 
@@ -129,7 +129,7 @@ func (t CapacityTask) Run(ctx context.Context) (any, error) {
 		if max := runtime.GOMAXPROCS(0); workers > max {
 			workers = max
 		}
-		mc := experiments.MeasuredBlockDisableCapacityWorkers(g, pfail, r.Trials, int64(r.Seed), workers)
+		mc := experiments.MeasuredBlockDisableCapacityWorkers(g, pfail, r.Trials, r.Seed, workers)
 		resp.MeasuredCapacity = &mc
 		resp.Trials = r.Trials
 	}

@@ -1,8 +1,10 @@
 // Package tasks defines the concrete compute kinds of the repository as
 // engine tasks: the Section IV capacity analysis, the Fig. 1
 // operating-point model, the Table I overhead accounting, single
-// simulations, sweep runs and individual sweep cells, and the
-// phase-aware DVFS scheduler (single runs and Pareto explorations).
+// simulations, sweep runs and individual sweep cells, the phase-aware
+// DVFS scheduler (single runs and Pareto explorations), and the
+// fleet-scale population layer (fleet sweeps and Vcc-min prediction
+// studies).
 //
 // Each kind is a request struct (the JSON shape shared by the HTTP
 // handlers, POST /v1/batch and the CLIs), a constructor that validates
@@ -36,6 +38,8 @@ const (
 	KindSweepCell      = "sweep-cell"
 	KindDVFSRun        = "dvfs-run"
 	KindDVFSExplore    = "dvfs-explore"
+	KindFleetSweep     = "fleet-sweep"
+	KindVccminPredict  = "vccmin-predict"
 )
 
 func init() {
@@ -62,6 +66,12 @@ func init() {
 	}))
 	engine.RegisterKind(KindDVFSExplore, decodeInto(func(r DVFSExploreRequest) (engine.Task, error) {
 		return NewDVFSExploreTask(r)
+	}))
+	engine.RegisterKind(KindFleetSweep, decodeInto(func(r FleetRequest) (engine.Task, error) {
+		return NewFleetTask(r)
+	}))
+	engine.RegisterKind(KindVccminPredict, decodeInto(func(r PredictRequest) (engine.Task, error) {
+		return NewPredictTask(r)
 	}))
 }
 

@@ -299,6 +299,8 @@ func TestRegistryDecodesEveryKind(t *testing.T) {
 		KindSweepCell:      `{"pfails":[0.001],"schemes":["baseline"],"benchmarks":["crafty"],"trials":1,"instructions":1000,"index":0}`,
 		KindDVFSRun:        `{"workload":"bursty-server","policy":"oracle","scale":4000}`,
 		KindDVFSExplore:    `{"workloads":["bursty-server"],"schemes":["block"],"policies":["oracle"],"scale":4000}`,
+		KindFleetSweep:     `{"dies":50,"schemes":["block","word"],"seed":7}`,
+		KindVccminPredict:  `{"dies":50,"scheme":"block","k":4,"sample":8,"seed":7}`,
 	}
 	for kind, params := range cases {
 		task, err := engine.DecodeTask(kind, json.RawMessage(params))
@@ -315,5 +317,50 @@ func TestRegistryDecodesEveryKind(t *testing.T) {
 	}
 	if _, err := engine.DecodeTask(KindSim, json.RawMessage(`{"bogus":1}`)); err == nil {
 		t.Error("unknown field must be rejected")
+	}
+}
+
+// TestFleetHashIgnoresWorkers pins that the scheduling knob is outside
+// the content address, while the dies-rows flag is inside it.
+func TestFleetHashIgnoresWorkers(t *testing.T) {
+	base, err := NewFleetTask(FleetRequest{Dies: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewFleetTask(FleetRequest{Dies: 100, Seed: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CanonicalHash() != parallel.CanonicalHash() {
+		t.Error("workers changed the fleet hash")
+	}
+	withRows, err := NewFleetTask(FleetRequest{Dies: 100, Seed: 3, IncludeDies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CanonicalHash() == withRows.CanonicalHash() {
+		t.Error("include_dies must change the stored identity")
+	}
+	defaulted, err := NewFleetTask(FleetRequest{Dies: 100, Seed: 3, VSteps: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CanonicalHash() != defaulted.CanonicalHash() {
+		t.Error("explicit default must hash like the omitted field")
+	}
+
+	p1, err := NewPredictTask(PredictRequest{Dies: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPredictTask(PredictRequest{Dies: 100, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.CanonicalHash() != p2.CanonicalHash() {
+		t.Error("workers changed the predict hash")
+	}
+	if p1.CanonicalHash() == base.CanonicalHash() {
+		t.Error("distinct kinds must not collide")
 	}
 }

@@ -55,6 +55,7 @@ import (
 	"vccmin/internal/limit"
 	"vccmin/internal/loadgen"
 	"vccmin/internal/overhead"
+	"vccmin/internal/population"
 	"vccmin/internal/power"
 	"vccmin/internal/prob"
 	"vccmin/internal/service"
@@ -439,6 +440,8 @@ const (
 	TaskKindSweepCell      = tasks.KindSweepCell
 	TaskKindDVFSRun        = tasks.KindDVFSRun
 	TaskKindDVFSExplore    = tasks.KindDVFSExplore
+	TaskKindFleetSweep     = tasks.KindFleetSweep
+	TaskKindVccminPredict  = tasks.KindVccminPredict
 )
 
 // NewEngine builds a compute engine; pass a Dir to persist results
@@ -539,6 +542,51 @@ func MeasuredBlockDisableCapacityWorkers(g Geometry, pfail float64, trials int, 
 // through one reused buffer so steady-state trials allocate nothing.
 func MeasuredBlockDisableCapacityDenseSerial(g Geometry, pfail float64, trials int, seed int64) float64 {
 	return experiments.MeasuredBlockDisableCapacityDenseSerial(g, pfail, trials, seed)
+}
+
+// ---- Fleet-scale population modeling ----
+
+// FleetVariation parameterizes the die-to-die pfail multiplier model:
+// inter-wafer lognormal mean, intra-wafer radial gradient, per-die
+// noise.
+type FleetVariation = population.Variation
+
+// FleetSpec configures one fleet measurement: the die population, the
+// variation model, the certification schemes and the voltage grid.
+// Zero fields take the population defaults.
+type FleetSpec = population.FleetSpec
+
+// FleetDieResult is one die's fleet row: wafer position, drawn
+// multiplier, per-scheme Vcc-min grid step.
+type FleetDieResult = population.DieResult
+
+// FleetSchemeYield is one scheme's fleet-level Vcc-min distribution:
+// histogram, yield-versus-voltage curve, quantiles and per-wafer
+// summaries.
+type FleetSchemeYield = population.SchemeYield
+
+// FleetResult is one fleet measurement's full answer.
+type FleetResult = population.FleetResult
+
+// RunFleet measures every die of a simulated fleet: per-die pfail
+// drawn from the wafer-level variation model, Vcc-min bisected under
+// each scheme. Deterministic per-die seeding makes the result
+// bit-identical at every worker count.
+func RunFleet(spec FleetSpec) (*FleetResult, error) { return population.RunFleet(spec) }
+
+// VccminPredictSpec configures a data-efficient Vcc-min prediction
+// study: estimate sampled dies' minimum operating voltages from K
+// adaptive pass/fail measurements each.
+type VccminPredictSpec = population.PredictSpec
+
+// VccminPredictResult reports the study's |estimate - truth| error
+// distribution in volts, with the analytic bisection bracket bound.
+type VccminPredictResult = population.PredictResult
+
+// RunVccminPredict runs the prediction study over a strided sample of
+// the fleet.
+func RunVccminPredict(spec VccminPredictSpec) (*VccminPredictResult, error) {
+	return population.RunPredict(spec)
 }
 
 // ---- Extensions: bit-fix and disabling granularity ----
