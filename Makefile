@@ -1,11 +1,12 @@
 GO ?= go
 
 # Coverage floor (percent) enforced by `make cover` on ./internal/...
-COVER_FLOOR ?= 75
+# (last measured 84.0% after the colstore suites landed).
+COVER_FLOOR ?= 80
 # Per-target budget for the `make fuzz` smoke run.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-json bench-gate diff-race fmt vet doc-check link-check api-check clean-check check fuzz cover serve sweep-demo loadgen-smoke fleet-smoke ci
+.PHONY: build test race bench bench-json bench-gate diff-race fmt vet doc-check link-check api-check clean-check check fuzz cover serve sweep-demo loadgen-smoke fleet-smoke query-smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,10 +33,10 @@ bench-gate:
 
 # The differential equivalence suites under the race detector: the frozen
 # pre-optimization reference implementations (dense fault-map generation,
-# oracle DP, probe measurement, frontier marking) held byte-identical to
-# the optimized hot paths.
+# oracle DP, probe measurement, frontier marking, the naive row-wise
+# query evaluator) held byte-identical to the optimized hot paths.
 diff-race:
-	$(GO) test -race -run 'Differential|ProbeCacheHit|MarkFrontierMatchesRebuild|FrontierSet' ./internal/faults ./internal/dvfs
+	$(GO) test -race -run 'Differential|ProbeCacheHit|MarkFrontierMatchesRebuild|FrontierSet' ./internal/faults ./internal/dvfs ./internal/colstore
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -85,13 +86,15 @@ clean-check:
 # The static quality gate CI runs before the test jobs.
 check: vet fmt doc-check link-check api-check clean-check
 
-# Short fuzz smoke over the checkpoint readers and the batched sparse
-# sampler (go test allows one fuzz target per invocation, hence the
-# separate runs).
+# Short fuzz smoke over the checkpoint readers, the batched sparse
+# sampler and the colv1 shard codec (go test allows one fuzz target per
+# invocation, hence the separate runs).
 fuzz:
 	$(GO) test ./internal/sweep -run='^$$' -fuzz=FuzzReadRows -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sweep -run='^$$' -fuzz=FuzzLoadCompleted -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/faults -run='^$$' -fuzz=FuzzSamplerBatched -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/colstore -run='^$$' -fuzz=FuzzShardDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/colstore -run='^$$' -fuzz=FuzzVarintColumn -fuzztime=$(FUZZTIME)
 
 # Coverage over the internal packages with a hard floor.
 cover:
@@ -133,4 +136,17 @@ fleet-smoke:
 	$(GO) run ./cmd/vccmin-fleet -predict 6 -dies 2000 -sample 64 -seed 7 \
 		-out /tmp/fleet-predict-smoke.json
 
-ci: build check race bench sweep-demo loadgen-smoke fleet-smoke cover
+# Columnar query smoke: the same aggregation answered from a finished
+# sweep checkpoint (-rows, the fold path) and computed from scratch must
+# produce byte-identical JSON — the CLI face of POST /v1/query.
+QUERY_SMOKE_SPEC = -pfail 1e-4:1e-3:3 -schemes block,word -trials 2 -instructions 20000
+query-smoke:
+	$(GO) run ./cmd/vccmin-sweep $(QUERY_SMOKE_SPEC) -out /tmp/query-smoke.jsonl
+	$(GO) run ./cmd/vccmin-query $(QUERY_SMOKE_SPEC) -group-by pfail,scheme \
+		-rows /tmp/query-smoke.jsonl -out /tmp/query-smoke-folded.json
+	$(GO) run ./cmd/vccmin-query $(QUERY_SMOKE_SPEC) -group-by pfail,scheme \
+		-out /tmp/query-smoke-computed.json
+	cmp /tmp/query-smoke-folded.json /tmp/query-smoke-computed.json
+	@echo "query-smoke: folded and computed answers are byte-identical"
+
+ci: build check race bench sweep-demo loadgen-smoke fleet-smoke query-smoke cover

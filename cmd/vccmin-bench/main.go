@@ -4,9 +4,10 @@
 //
 // Defaults match the CI smoke gate: the stable substrate benchmarks (the
 // fault-map generators, cache access, workload generation, the pipeline
-// step, the Eq. 1 urn model, the dvfs schedulers and the engine result
-// store's cold/warm/disk paths) at -benchtime 100ms, compared against the
-// highest-numbered BENCH_<n>.json in -dir at a 25% threshold.
+// step, the Eq. 1 urn model, the dvfs schedulers, the engine result
+// store's cold/warm/disk paths and the colv1 shard codec and query
+// evaluator) at -benchtime 100ms, compared against the highest-numbered
+// BENCH_<n>.json in -dir at a 25% threshold.
 //
 //	vccmin-bench                         # run smoke set, compare to latest baseline
 //	vccmin-bench -write                  # ...and record BENCH_<latest+1>.json
@@ -37,7 +38,7 @@ import (
 // count, so gating it against a baseline from a different machine would
 // measure the runner, not the code — run it via `-bench . -pkg ./...`
 // when recording full snapshots).
-const smokeBench = "^(BenchmarkFaultMapGeneration|BenchmarkGenerateDense|BenchmarkGenerateMapSparse|BenchmarkGenerateMapSparseReuse|BenchmarkMeasuredCapacityDenseSerial|BenchmarkCacheAccess|BenchmarkWorkloadGeneration|BenchmarkPipelineThroughput|BenchmarkEq1UrnModel|BenchmarkFig1VoltageScaling|BenchmarkDVFSOracleSchedule|BenchmarkDVFSReactiveSchedule|BenchmarkEngineColdCompute|BenchmarkEngineWarmMemory|BenchmarkEngineDiskHit|BenchmarkFleetDieVccmin|BenchmarkFleetSweepSmall|BenchmarkPredictDie)$"
+const smokeBench = "^(BenchmarkFaultMapGeneration|BenchmarkGenerateDense|BenchmarkGenerateMapSparse|BenchmarkGenerateMapSparseReuse|BenchmarkMeasuredCapacityDenseSerial|BenchmarkCacheAccess|BenchmarkWorkloadGeneration|BenchmarkPipelineThroughput|BenchmarkEq1UrnModel|BenchmarkFig1VoltageScaling|BenchmarkDVFSOracleSchedule|BenchmarkDVFSReactiveSchedule|BenchmarkEngineColdCompute|BenchmarkEngineWarmMemory|BenchmarkEngineDiskHit|BenchmarkFleetDieVccmin|BenchmarkFleetSweepSmall|BenchmarkPredictDie|BenchmarkShardEncode|BenchmarkShardDecode|BenchmarkQueryGroupBy1M)$"
 
 // config carries the parsed flag set; one field per flag.
 type config struct {
@@ -57,7 +58,7 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.pkgs, "pkg", ".,./internal/faults,./internal/dvfs,./internal/engine,./internal/population", "comma-separated packages to benchmark")
+	flag.StringVar(&cfg.pkgs, "pkg", ".,./internal/faults,./internal/dvfs,./internal/engine,./internal/population,./internal/colstore", "comma-separated packages to benchmark")
 	flag.StringVar(&cfg.bench, "bench", smokeBench, "benchmark regex passed to go test -bench")
 	flag.StringVar(&cfg.benchtime, "benchtime", "100ms", "per-benchmark budget passed to go test -benchtime")
 	flag.IntVar(&cfg.count, "count", 1, "go test -count (repeats are averaged per benchmark)")

@@ -36,9 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
-	"strconv"
 	"strings"
 
 	"vccmin/internal/cliflag"
@@ -95,7 +93,7 @@ func main() {
 		ShardCount:   *shards,
 	}
 	var err error
-	if spec.Pfails, err = parsePfails(*pfails); err != nil {
+	if spec.Pfails, err = cliflag.ParsePfails(*pfails); err != nil {
 		fatal(err)
 	}
 	if spec.Geometries, err = parseGeoms(*geoms); err != nil {
@@ -217,44 +215,6 @@ func runViaEngine(spec sweep.Spec, cacheDir, out string, summary bool) error {
 		printSummary(resp.Summary)
 	}
 	return nil
-}
-
-// parsePfails parses "1e-4,5e-4" or "lo:hi:n" (n log-spaced points
-// inclusive of both endpoints).
-func parsePfails(s string) ([]float64, error) {
-	if lo, hi, n, ok := parseRange(s); ok {
-		if lo <= 0 || hi < lo || n < 1 {
-			return nil, fmt.Errorf("bad pfail range %q: need 0 < lo <= hi and n >= 1", s)
-		}
-		if n == 1 {
-			return []float64{lo}, nil
-		}
-		out := make([]float64, n)
-		step := math.Log(hi/lo) / float64(n-1)
-		for i := range out {
-			out[i] = lo * math.Exp(float64(i)*step)
-		}
-		out[n-1] = hi // exact endpoint despite float rounding
-		return out, nil
-	}
-	return cliflag.ParseList(s, func(v string) (float64, error) {
-		return strconv.ParseFloat(v, 64)
-	})
-}
-
-// parseRange recognizes lo:hi:n.
-func parseRange(s string) (lo, hi float64, n int, ok bool) {
-	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return 0, 0, 0, false
-	}
-	lo, err1 := strconv.ParseFloat(parts[0], 64)
-	hi, err2 := strconv.ParseFloat(parts[1], 64)
-	n, err3 := strconv.Atoi(parts[2])
-	if err1 != nil || err2 != nil || err3 != nil {
-		return 0, 0, 0, false
-	}
-	return lo, hi, n, true
 }
 
 func parseGeoms(s string) ([]geom.Geometry, error) {

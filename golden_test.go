@@ -319,6 +319,121 @@ func TestGoldenFleetYield(t *testing.T) {
 	checkGolden(t, "fleet_yield.json", append(got, '\n'))
 }
 
+// goldenSweepRows runs the corpus sweep with a given worker bound and
+// returns its rows.
+func goldenSweepRows(t *testing.T, workers int) []vccmin.SweepRow {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := vccmin.RunSweepWith(goldenSweepSpec(), vccmin.SweepRunOptions{Out: &buf, Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := vccmin.ReadSweepRows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestGoldenColstoreShard pins the colv1 columnar encoding of the corpus
+// sweep byte for byte: dictionary assignment, zigzag-delta varints,
+// footer layout. The shard must come out identical whether the rows were
+// produced serially or by a saturated pool, and decoding the committed
+// fixture must reproduce the rows exactly.
+func TestGoldenColstoreShard(t *testing.T) {
+	serialRows := goldenSweepRows(t, 1)
+	enc, err := vccmin.EncodeSweepShard(serialRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := vccmin.EncodeSweepShard(goldenSweepRows(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, parallel) {
+		t.Fatal("colstore shard differs between workers=1 and workers=8")
+	}
+	checkGolden(t, "sweep_tiny.col", enc)
+
+	raw, err := os.ReadFile(goldenPath("sweep_tiny.col"))
+	if err != nil {
+		t.Skipf("golden file missing (run -update first): %v", err)
+	}
+	back, err := vccmin.DecodeSweepShard(raw)
+	if err != nil {
+		t.Fatalf("golden shard does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(back, serialRows) {
+		t.Fatal("rows decoded from the golden shard differ from the corpus sweep")
+	}
+	again, err := vccmin.EncodeSweepShard(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, raw) {
+		t.Fatal("colstore shard round trip is not byte-identical")
+	}
+}
+
+// TestGoldenQueryAgg pins the query layer's aggregate JSON over the
+// corpus sweep for three group-by shapes (overall, per scheme, per
+// pfail×scheme with a range filter), each across the full aggregate set
+// — count, mean, min, max, p50, p90, p99 — and requires the answers to
+// be identical over serially- and parallel-produced rows.
+func TestGoldenQueryAgg(t *testing.T) {
+	specs := []struct {
+		Name string           `json:"name"`
+		Spec vccmin.QuerySpec `json:"spec"`
+	}{
+		{"overall", vccmin.QuerySpec{
+			Metrics: []string{"expected_capacity", "mean_ipc", "ipc_degradation", "energy_per_instruction"},
+		}},
+		{"by_scheme", vccmin.QuerySpec{
+			GroupBy: []string{"scheme"},
+			Metrics: []string{"expected_capacity", "ipc_degradation", "energy_per_instruction"},
+		}},
+		{"by_pfail_scheme_ranged", vccmin.QuerySpec{
+			GroupBy:  []string{"pfail", "scheme"},
+			Metrics:  []string{"mean_ipc", "measured_capacity", "voltage", "frequency"},
+			PfailMax: func() *float64 { v := 0.001; return &v }(),
+		}},
+	}
+
+	rows := goldenSweepRows(t, 1)
+	parallelRows := goldenSweepRows(t, 8)
+	type entry struct {
+		Name   string              `json:"name"`
+		Result *vccmin.QueryResult `json:"result"`
+	}
+	out := make([]entry, 0, len(specs))
+	for _, s := range specs {
+		res, err := vccmin.QuerySweepRows(rows, s.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := vccmin.QuerySweepRows(parallelRows, s.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pgot, err := json.Marshal(pres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pgot) {
+			t.Fatalf("%s: query answer differs between workers=1 and workers=8 rows", s.Name)
+		}
+		out = append(out, entry{s.Name, res})
+	}
+	got, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "query_agg.json", append(got, '\n'))
+}
+
 // TestGoldenResumeStitch proves the golden stream is reachable through the
 // resume path too: truncate the corpus output mid-stream (torn final
 // line), resume, and require byte-identity with the golden file.

@@ -4,7 +4,12 @@
 // trimmed, and element parsing stops at the first error.
 package cliflag
 
-import "strings"
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
 
 // Split breaks a comma-separated list into trimmed, non-empty elements.
 func Split(s string) []string {
@@ -29,4 +34,43 @@ func ParseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
 		out = append(out, t)
 	}
 	return out, nil
+}
+
+// ParsePfails parses the pfail axis syntax shared by vccmin-sweep and
+// vccmin-query: a comma list ("1e-4,5e-4") or lo:hi:n for n log-spaced
+// points inclusive of both endpoints.
+func ParsePfails(s string) ([]float64, error) {
+	if lo, hi, n, ok := parseRange(s); ok {
+		if lo <= 0 || hi < lo || n < 1 {
+			return nil, fmt.Errorf("bad pfail range %q: need 0 < lo <= hi and n >= 1", s)
+		}
+		if n == 1 {
+			return []float64{lo}, nil
+		}
+		out := make([]float64, n)
+		step := math.Log(hi/lo) / float64(n-1)
+		for i := range out {
+			out[i] = lo * math.Exp(float64(i)*step)
+		}
+		out[n-1] = hi // exact endpoint despite float rounding
+		return out, nil
+	}
+	return ParseList(s, func(v string) (float64, error) {
+		return strconv.ParseFloat(v, 64)
+	})
+}
+
+// parseRange recognizes lo:hi:n.
+func parseRange(s string) (lo, hi float64, n int, ok bool) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, false
+	}
+	lo, err1 := strconv.ParseFloat(parts[0], 64)
+	hi, err2 := strconv.ParseFloat(parts[1], 64)
+	n, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, 0, false
+	}
+	return lo, hi, n, true
 }

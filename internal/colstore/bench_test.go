@@ -1,0 +1,64 @@
+package colstore
+
+import (
+	"testing"
+)
+
+// benchSink keeps the compiler from eliding the encode.
+var benchSink int
+
+// BenchmarkShardEncode measures encoding one full default-size shard
+// (64k mixed classic/DVFS rows) to canonical colv1 bytes — the fold's
+// hot loop.
+func BenchmarkShardEncode(b *testing.B) {
+	s, err := NewShard(genRows(DefaultShardRows, 7, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = len(s.EncodeBytes())
+	}
+}
+
+// BenchmarkShardDecode measures the reverse path: canonical bytes back
+// into a queryable shard, with all canonical-form checks on.
+func BenchmarkShardDecode(b *testing.B) {
+	s, err := NewShard(genRows(DefaultShardRows, 7, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := s.EncodeBytes()
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryGroupBy1M measures a two-axis group-by with two metrics
+// over a million-row result set in default-size shards — the
+// interactive-tier serving shape POST /v1/query pays after the fold.
+func BenchmarkQueryGroupBy1M(b *testing.B) {
+	src, err := ShardsOf(genRows(1<<20, 7, true), DefaultShardRows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Spec{
+		GroupBy: []string{"pfail", "scheme"},
+		Metrics: []string{"ipc_degradation", "energy_per_instruction"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Query(src, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res.Matched
+	}
+}

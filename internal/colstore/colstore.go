@@ -1,0 +1,282 @@
+// Package colstore is the compact columnar shard format for finished
+// sweep results and the aggregation layer on top of it. A sweep's JSONL
+// checkpoint stores every row as a self-describing JSON object —
+// perfect for streaming and resume, roughly 10x too large and entirely
+// the wrong shape for fleet-scale slicing ("p99 IPC degradation by
+// scheme over a million cells"). A colstore shard stores the same rows
+// as columns: dictionary-compressed strings for the axis coordinates,
+// zigzag-delta varints for the integers, raw little-endian bits (or an
+// adaptive dictionary) for the floats, and a presence bitmap for the
+// optional DVFS pointers — losslessly, because sweep.Row is a pure
+// function of its cell coordinates and the canonical cell key can be
+// reconstructed from the axis columns instead of being stored.
+//
+// Format contract (colv1). A shard file is
+//
+//	magic "colv1\x00"
+//	column payloads, concatenated in schema order
+//	footer: row count, then per column name/kind/offset/length
+//	8-byte little-endian absolute footer offset
+//
+// and every encoding decision is a deterministic pure function of the
+// row values, so encode → decode → re-encode is byte-identical and a
+// shard's bytes never depend on worker count, shard layout or which
+// entrypoint folded it. The magic is a versioned stream break exactly
+// like the sweep engine's sparse-v1: a future layout change bumps it to
+// colv2 and old shards are refused, never half-read.
+//
+// The decoder is adversarial-input safe: every allocation is bounded by
+// the input length, varints must be minimally encoded, columns must
+// tile the body exactly, and dictionaries must be in canonical
+// first-appearance order with every entry used — arbitrary bytes either
+// decode into a shard that re-encodes to the very same bytes, or fail
+// cleanly.
+package colstore
+
+import (
+	"fmt"
+	"strconv"
+
+	"vccmin/internal/sweep"
+)
+
+// DefaultShardRows is the fold chunk size: rows per shard file. Large
+// enough that dictionaries and the footer amortize to noise, small
+// enough that one shard's materialized columns stay cache-friendly.
+const DefaultShardRows = 65536
+
+// colClass is a column's logical type in the fixed colv1 schema.
+type colClass uint8
+
+const (
+	classInt   colClass = iota // int64, zigzag-delta varints
+	classStr                   // string, dictionary + indices
+	classFloat                 // float64, raw bits or adaptive dictionary
+	classOpt                   // optional float64, presence bitmap + raw bits
+)
+
+// colDef names one column of the fixed colv1 schema. The schema — the
+// names, classes and order below — is part of the format: a decoder
+// refuses any footer that does not spell it exactly, and changing it
+// means a colv2 stream break.
+type colDef struct {
+	name  string
+	class colClass
+}
+
+// schema mirrors sweep.Row field for field (JSON names), minus Key —
+// the canonical cell key is reconstructed from the axis columns, which
+// is both the biggest size win and a lossless-by-construction check:
+// NewShard refuses any row whose stored key is not the canonical
+// spelling of its coordinates.
+var schema = []colDef{
+	{"index", classInt},
+	{"stream", classStr},
+	{"pfail", classFloat},
+	{"geom_size", classInt},
+	{"geom_ways", classInt},
+	{"geom_block", classInt},
+	{"scheme", classStr},
+	{"victim", classStr},
+	{"granularity", classStr},
+	{"seed", classInt},
+	{"expected_capacity", classFloat},
+	{"whole_cache_fail_prob", classFloat},
+	{"mean_ipc", classFloat},
+	{"baseline_ipc", classFloat},
+	{"ipc_degradation", classFloat},
+	{"measured_capacity", classFloat},
+	{"unfit_trials", classInt},
+	{"voltage", classFloat},
+	{"frequency", classFloat},
+	{"energy_per_instruction", classFloat},
+	{"trials", classInt},
+	{"benchmarks", classInt},
+	{"policy", classStr},
+	{"dvfs_performance", classFloat},
+	{"dvfs_energy_per_instruction", classFloat},
+	{"dvfs_switches", classOpt},
+	{"dvfs_low_share", classOpt},
+}
+
+// strCol keeps a dictionary column in its encoded shape: the distinct
+// values in first-appearance order plus one dictionary index per row.
+// Queries group and filter on the indices without touching strings.
+type strCol struct {
+	dict []string
+	idx  []uint32
+}
+
+func (c strCol) value(r int) string { return c.dict[c.idx[r]] }
+
+// optCol is an optional float column: present[r] says whether row r
+// carries a value, vals[r] is meaningful only when it does.
+type optCol struct {
+	present []bool
+	vals    []float64
+}
+
+// Shard holds one chunk of sweep rows column-wise, in checkpoint order.
+// It is the in-memory form both of the encoder's input and the
+// decoder's output, and the unit the query layer scans.
+type Shard struct {
+	rows   int
+	ints   map[string][]int64
+	strs   map[string]strCol
+	floats map[string][]float64
+	opts   map[string]optCol
+}
+
+// NumRows returns the shard's row count.
+func (s *Shard) NumRows() int { return s.rows }
+
+// cellKey reconstructs the canonical cell key from axis values — the
+// exact sweep.Cell.Key spelling, which is part of the on-disk contract
+// there and therefore here too.
+func cellKey(pfail float64, size, ways, block int64, scheme, victim, gran, policy string) string {
+	key := fmt.Sprintf("pfail=%s;geom=%dx%dx%d;scheme=%s;victim=%s;gran=%s",
+		strconv.FormatFloat(pfail, 'g', -1, 64),
+		size, ways, block, scheme, victim, gran)
+	if policy != "" {
+		key += ";policy=" + policy
+	}
+	return key
+}
+
+// NewShard builds a shard from rows, preserving their order. It errors
+// if any row's Key is not the canonical spelling of its coordinates:
+// the format does not store keys, so a non-canonical key is the one
+// thing a shard could not round-trip.
+func NewShard(rows []sweep.Row) (*Shard, error) {
+	s := &Shard{
+		rows:   len(rows),
+		ints:   make(map[string][]int64),
+		strs:   make(map[string]strCol),
+		floats: make(map[string][]float64),
+		opts:   make(map[string]optCol),
+	}
+	n := len(rows)
+	intVals := func(get func(sweep.Row) int64) []int64 {
+		out := make([]int64, n)
+		for i, r := range rows {
+			out[i] = get(r)
+		}
+		return out
+	}
+	floatVals := func(get func(sweep.Row) float64) []float64 {
+		out := make([]float64, n)
+		for i, r := range rows {
+			out[i] = get(r)
+		}
+		return out
+	}
+	strVals := func(get func(sweep.Row) string) strCol {
+		c := strCol{idx: make([]uint32, n)}
+		ids := make(map[string]uint32)
+		for i, r := range rows {
+			v := get(r)
+			id, ok := ids[v]
+			if !ok {
+				id = uint32(len(c.dict))
+				ids[v] = id
+				c.dict = append(c.dict, v)
+			}
+			c.idx[i] = id
+		}
+		return c
+	}
+	optVals := func(get func(sweep.Row) *float64) optCol {
+		c := optCol{present: make([]bool, n), vals: make([]float64, n)}
+		for i, r := range rows {
+			if p := get(r); p != nil {
+				c.present[i] = true
+				c.vals[i] = *p
+			}
+		}
+		return c
+	}
+
+	for i, r := range rows {
+		want := cellKey(r.Pfail, int64(r.GeomSize), int64(r.GeomWays), int64(r.GeomBlock),
+			r.Scheme, r.Victim, r.Granularity, r.Policy)
+		if r.Key != want {
+			return nil, fmt.Errorf("colstore: row %d key %q is not the canonical cell key %q", i, r.Key, want)
+		}
+	}
+
+	s.ints["index"] = intVals(func(r sweep.Row) int64 { return int64(r.Index) })
+	s.strs["stream"] = strVals(func(r sweep.Row) string { return r.Stream })
+	s.floats["pfail"] = floatVals(func(r sweep.Row) float64 { return r.Pfail })
+	s.ints["geom_size"] = intVals(func(r sweep.Row) int64 { return int64(r.GeomSize) })
+	s.ints["geom_ways"] = intVals(func(r sweep.Row) int64 { return int64(r.GeomWays) })
+	s.ints["geom_block"] = intVals(func(r sweep.Row) int64 { return int64(r.GeomBlock) })
+	s.strs["scheme"] = strVals(func(r sweep.Row) string { return r.Scheme })
+	s.strs["victim"] = strVals(func(r sweep.Row) string { return r.Victim })
+	s.strs["granularity"] = strVals(func(r sweep.Row) string { return r.Granularity })
+	s.ints["seed"] = intVals(func(r sweep.Row) int64 { return r.Seed })
+	s.floats["expected_capacity"] = floatVals(func(r sweep.Row) float64 { return r.ExpectedCapacity })
+	s.floats["whole_cache_fail_prob"] = floatVals(func(r sweep.Row) float64 { return r.WholeCacheFailProb })
+	s.floats["mean_ipc"] = floatVals(func(r sweep.Row) float64 { return r.MeanIPC })
+	s.floats["baseline_ipc"] = floatVals(func(r sweep.Row) float64 { return r.BaselineIPC })
+	s.floats["ipc_degradation"] = floatVals(func(r sweep.Row) float64 { return r.IPCDegradation })
+	s.floats["measured_capacity"] = floatVals(func(r sweep.Row) float64 { return r.MeasuredCapacity })
+	s.ints["unfit_trials"] = intVals(func(r sweep.Row) int64 { return int64(r.UnfitTrials) })
+	s.floats["voltage"] = floatVals(func(r sweep.Row) float64 { return r.Voltage })
+	s.floats["frequency"] = floatVals(func(r sweep.Row) float64 { return r.Frequency })
+	s.floats["energy_per_instruction"] = floatVals(func(r sweep.Row) float64 { return r.EnergyPerInstruction })
+	s.ints["trials"] = intVals(func(r sweep.Row) int64 { return int64(r.Trials) })
+	s.ints["benchmarks"] = intVals(func(r sweep.Row) int64 { return int64(r.Benchmarks) })
+	s.strs["policy"] = strVals(func(r sweep.Row) string { return r.Policy })
+	s.floats["dvfs_performance"] = floatVals(func(r sweep.Row) float64 { return r.DVFSPerformance })
+	s.floats["dvfs_energy_per_instruction"] = floatVals(func(r sweep.Row) float64 { return r.DVFSEnergyPerInst })
+	s.opts["dvfs_switches"] = optVals(func(r sweep.Row) *float64 { return r.DVFSSwitches })
+	s.opts["dvfs_low_share"] = optVals(func(r sweep.Row) *float64 { return r.DVFSLowShare })
+	return s, nil
+}
+
+// Rows materializes the shard back into sweep rows, in stored order,
+// with every Key reconstructed from the axis columns. For shards built
+// by NewShard (directly or through a fold) the result is deep-equal to
+// the input rows.
+func (s *Shard) Rows() []sweep.Row {
+	out := make([]sweep.Row, s.rows)
+	for i := range out {
+		r := &out[i]
+		r.Index = int(s.ints["index"][i])
+		r.Stream = s.strs["stream"].value(i)
+		r.Pfail = s.floats["pfail"][i]
+		r.GeomSize = int(s.ints["geom_size"][i])
+		r.GeomWays = int(s.ints["geom_ways"][i])
+		r.GeomBlock = int(s.ints["geom_block"][i])
+		r.Scheme = s.strs["scheme"].value(i)
+		r.Victim = s.strs["victim"].value(i)
+		r.Granularity = s.strs["granularity"].value(i)
+		r.Seed = s.ints["seed"][i]
+		r.ExpectedCapacity = s.floats["expected_capacity"][i]
+		r.WholeCacheFailProb = s.floats["whole_cache_fail_prob"][i]
+		r.MeanIPC = s.floats["mean_ipc"][i]
+		r.BaselineIPC = s.floats["baseline_ipc"][i]
+		r.IPCDegradation = s.floats["ipc_degradation"][i]
+		r.MeasuredCapacity = s.floats["measured_capacity"][i]
+		r.UnfitTrials = int(s.ints["unfit_trials"][i])
+		r.Voltage = s.floats["voltage"][i]
+		r.Frequency = s.floats["frequency"][i]
+		r.EnergyPerInstruction = s.floats["energy_per_instruction"][i]
+		r.Trials = int(s.ints["trials"][i])
+		r.Benchmarks = int(s.ints["benchmarks"][i])
+		r.Policy = s.strs["policy"].value(i)
+		r.DVFSPerformance = s.floats["dvfs_performance"][i]
+		r.DVFSEnergyPerInst = s.floats["dvfs_energy_per_instruction"][i]
+		if c := s.opts["dvfs_switches"]; c.present[i] {
+			v := c.vals[i]
+			r.DVFSSwitches = &v
+		}
+		if c := s.opts["dvfs_low_share"]; c.present[i] {
+			v := c.vals[i]
+			r.DVFSLowShare = &v
+		}
+		r.Key = cellKey(r.Pfail, int64(r.GeomSize), int64(r.GeomWays), int64(r.GeomBlock),
+			r.Scheme, r.Victim, r.Granularity, r.Policy)
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadMagic reports a shard whose header is not colv1 — a future
+// stream break or a file that is not a colstore shard at all. Callers
+// branch on it the way the sweep engine branches on a stream-version
+// mismatch: refuse and re-fold, never half-read.
+var ErrBadMagic = errors.New("colstore: not a colv1 shard")
+
+// Decode parses canonical colv1 bytes back into a shard. It accepts
+// exactly the encoder's output: every varint must be minimal, columns
+// must tile the body contiguously in schema order, dictionaries must be
+// in first-appearance order with distinct, fully-used entries, and the
+// adaptive float rule must match — so a successful decode re-encodes to
+// the very same bytes. Arbitrary input fails with an error; it never
+// panics, and every allocation is bounded by the input length.
+func Decode(data []byte) (*Shard, error) {
+	if len(data) < len(magic)+8 {
+		return nil, fmt.Errorf("colstore: %d-byte input shorter than header+trailer", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w (header %q)", ErrBadMagic, data[:len(magic)])
+	}
+	trailer := binary.LittleEndian.Uint64(data[len(data)-8:])
+	if trailer < uint64(len(magic)) || trailer > uint64(len(data)-8) {
+		return nil, fmt.Errorf("colstore: footer offset %d outside [%d,%d]", trailer, len(magic), len(data)-8)
+	}
+	body := data[len(magic):trailer]
+	fr := &reader{data: data[trailer : len(data)-8]}
+
+	rowsU, err := fr.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("colstore: footer row count: %w", err)
+	}
+	// Every shard has an int column, which costs at least one byte per
+	// row, so a row count beyond the body size cannot be satisfied; the
+	// early bound keeps later per-column allocations input-bounded.
+	if rowsU > uint64(len(body)) {
+		return nil, fmt.Errorf("colstore: row count %d exceeds %d-byte body", rowsU, len(body))
+	}
+	rows := int(rowsU)
+	colsU, err := fr.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("colstore: footer column count: %w", err)
+	}
+	if colsU != uint64(len(schema)) {
+		return nil, fmt.Errorf("colstore: %d columns, colv1 schema has %d", colsU, len(schema))
+	}
+
+	s := &Shard{
+		rows:   rows,
+		ints:   make(map[string][]int64, len(schema)),
+		strs:   make(map[string]strCol, len(schema)),
+		floats: make(map[string][]float64, len(schema)),
+		opts:   make(map[string]optCol, len(schema)),
+	}
+	bodyOff := uint64(0)
+	for _, def := range schema {
+		nameLen, err := fr.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("colstore: column %s: name length: %w", def.name, err)
+		}
+		name, err := fr.take(nameLen)
+		if err != nil || string(name) != def.name {
+			return nil, fmt.Errorf("colstore: footer names column %q where the colv1 schema has %q", name, def.name)
+		}
+		kind, err := fr.byte()
+		if err != nil {
+			return nil, fmt.Errorf("colstore: column %s: kind: %w", def.name, err)
+		}
+		off, err1 := fr.uvarint()
+		length, err2 := fr.uvarint()
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("colstore: column %s: truncated extent", def.name)
+		}
+		// Columns tile the body exactly, in schema order: no gaps, no
+		// overlaps, no room for bytes the encoder would not have written.
+		if off != bodyOff || length > uint64(len(body))-off {
+			return nil, fmt.Errorf("colstore: column %s extent [%d,+%d) does not tile the %d-byte body at %d",
+				def.name, off, length, len(body), bodyOff)
+		}
+		bodyOff = off + length
+		payload := body[off : off+length]
+
+		switch {
+		case def.class == classInt && kind == kindInt:
+			col, err := decodeIntCol(payload, rows)
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %s: %w", def.name, err)
+			}
+			s.ints[def.name] = col
+		case def.class == classStr && kind == kindStr:
+			col, err := decodeStrCol(payload, rows)
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %s: %w", def.name, err)
+			}
+			s.strs[def.name] = col
+		case def.class == classFloat && (kind == kindFloatRaw || kind == kindFloatDict):
+			col, err := decodeFloatCol(payload, rows, kind)
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %s: %w", def.name, err)
+			}
+			s.floats[def.name] = col
+		case def.class == classOpt && kind == kindOpt:
+			col, err := decodeOptCol(payload, rows)
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %s: %w", def.name, err)
+			}
+			s.opts[def.name] = col
+		default:
+			return nil, fmt.Errorf("colstore: column %s: kind %q does not encode its schema class", def.name, kind)
+		}
+	}
+	if bodyOff != uint64(len(body)) {
+		return nil, fmt.Errorf("colstore: columns cover %d of %d body bytes", bodyOff, len(body))
+	}
+	if fr.off != len(fr.data) {
+		return nil, fmt.Errorf("colstore: %d trailing footer bytes", len(fr.data)-fr.off)
+	}
+	return s, nil
+}
+
+// reader walks a byte region with bounds and minimal-varint checking.
+type reader struct {
+	data []byte
+	off  int
+}
+
+var (
+	errTruncated  = errors.New("truncated")
+	errNonMinimal = errors.New("non-minimal varint")
+)
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, errTruncated
+		}
+		return 0, errors.New("varint overflows 64 bits")
+	}
+	// Canonical form: the final byte of a multi-byte varint must be
+	// non-zero, else the same value has a shorter encoding and decode →
+	// re-encode would not be byte-identical.
+	if n > 1 && r.data[r.off+n-1] == 0 {
+		return 0, errNonMinimal
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, errTruncated
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) take(n uint64) ([]byte, error) {
+	if n > uint64(len(r.data)-r.off) {
+		return nil, errTruncated
+	}
+	b := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+func decodeIntCol(payload []byte, rows int) ([]int64, error) {
+	if len(payload) < rows { // every varint is at least one byte
+		return nil, fmt.Errorf("%d bytes for %d values: %w", len(payload), rows, errTruncated)
+	}
+	r := &reader{data: payload}
+	out := make([]int64, rows)
+	prev := int64(0)
+	for i := range out {
+		u, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prev += unzigzag(u)
+		out[i] = prev
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("%d trailing bytes", len(payload)-r.off)
+	}
+	return out, nil
+}
+
+// decodeStrCol parses a dictionary column, enforcing the canonical
+// form: entries distinct, listed in first-appearance order and all
+// referenced (an index may never skip ahead of the entries seen so
+// far, and the last entry must be reached).
+func decodeStrCol(payload []byte, rows int) (strCol, error) {
+	r := &reader{data: payload}
+	dictN, err := r.uvarint()
+	if err != nil {
+		return strCol{}, fmt.Errorf("dictionary size: %w", err)
+	}
+	if dictN > uint64(rows) {
+		return strCol{}, fmt.Errorf("%d dictionary entries for %d rows", dictN, rows)
+	}
+	col := strCol{dict: make([]string, 0, dictN)}
+	seen := make(map[string]bool, dictN)
+	for i := uint64(0); i < dictN; i++ {
+		n, err := r.uvarint()
+		if err != nil {
+			return strCol{}, fmt.Errorf("entry %d length: %w", i, err)
+		}
+		b, err := r.take(n)
+		if err != nil {
+			return strCol{}, fmt.Errorf("entry %d: %w", i, err)
+		}
+		v := string(b)
+		if seen[v] {
+			return strCol{}, fmt.Errorf("duplicate dictionary entry %q", v)
+		}
+		seen[v] = true
+		col.dict = append(col.dict, v)
+	}
+	idx, err := decodeDictIndices(r, rows, uint64(len(col.dict)))
+	if err != nil {
+		return strCol{}, err
+	}
+	col.idx = idx
+	return col, nil
+}
+
+// decodeDictIndices reads rows dictionary indices and checks canonical
+// first-appearance order: index i may appear only after every index
+// below i has, and every entry must be used.
+func decodeDictIndices(r *reader, rows int, dictN uint64) ([]uint32, error) {
+	idx := make([]uint32, rows)
+	nextNew := uint64(0)
+	for i := range idx {
+		u, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("index %d: %w", i, err)
+		}
+		if u > nextNew {
+			return nil, fmt.Errorf("index %d references entry %d before entry %d appeared", i, u, nextNew)
+		}
+		if u == nextNew {
+			nextNew++
+		}
+		idx[i] = uint32(u)
+	}
+	if nextNew != dictN {
+		return nil, fmt.Errorf("%d of %d dictionary entries unused", dictN-nextNew, dictN)
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("%d trailing bytes", len(r.data)-r.off)
+	}
+	return idx, nil
+}
+
+func decodeFloatCol(payload []byte, rows int, kind byte) ([]float64, error) {
+	if kind == kindFloatRaw {
+		if len(payload) != 8*rows {
+			return nil, fmt.Errorf("%d bytes for %d raw float64s", len(payload), rows)
+		}
+		out := make([]float64, rows)
+		distinct := make(map[uint64]bool, maxFloatDict+1)
+		for i := range out {
+			bits := binary.LittleEndian.Uint64(payload[8*i:])
+			out[i] = math.Float64frombits(bits)
+			if len(distinct) <= maxFloatDict {
+				distinct[bits] = true
+			}
+		}
+		// The adaptive rule is part of the canonical form: values the
+		// encoder would have dictionary-encoded may not arrive raw.
+		if useFloatDict(len(distinct), rows) {
+			return nil, fmt.Errorf("%d distinct values over %d rows must be dictionary-encoded", len(distinct), rows)
+		}
+		return out, nil
+	}
+	r := &reader{data: payload}
+	dictN, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dictionary size: %w", err)
+	}
+	if dictN > maxFloatDict {
+		return nil, fmt.Errorf("float dictionary has %d entries, limit %d", dictN, maxFloatDict)
+	}
+	if !useFloatDict(int(dictN), rows) || dictN == 0 && rows > 0 {
+		return nil, fmt.Errorf("%d-entry float dictionary over %d rows violates the adaptive rule", dictN, rows)
+	}
+	dictBytes, err := r.take(8 * dictN)
+	if err != nil {
+		return nil, fmt.Errorf("dictionary: %w", err)
+	}
+	dict := make([]uint64, dictN)
+	seen := make(map[uint64]bool, dictN)
+	for i := range dict {
+		dict[i] = binary.LittleEndian.Uint64(dictBytes[8*i:])
+		if seen[dict[i]] {
+			return nil, fmt.Errorf("duplicate float dictionary entry %#x", dict[i])
+		}
+		seen[dict[i]] = true
+	}
+	idx, err := decodeDictIndices(r, rows, dictN)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, rows)
+	for i, id := range idx {
+		out[i] = math.Float64frombits(dict[id])
+	}
+	return out, nil
+}
+
+func decodeOptCol(payload []byte, rows int) (optCol, error) {
+	bitmapLen := (rows + 7) / 8
+	if len(payload) < bitmapLen {
+		return optCol{}, fmt.Errorf("%d bytes for a %d-byte presence bitmap: %w", len(payload), bitmapLen, errTruncated)
+	}
+	bitmap := payload[:bitmapLen]
+	col := optCol{present: make([]bool, rows), vals: make([]float64, rows)}
+	present := 0
+	for i := range col.present {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			col.present[i] = true
+			present++
+		}
+	}
+	// Trailing bits past the last row must be zero — they are the only
+	// degrees of freedom the bitmap has, and canonical bytes have none.
+	if rows%8 != 0 && bitmap[bitmapLen-1]>>(rows%8) != 0 {
+		return optCol{}, errors.New("non-zero trailing presence bits")
+	}
+	vals := payload[bitmapLen:]
+	if len(vals) != 8*present {
+		return optCol{}, fmt.Errorf("%d bytes for %d present float64s", len(vals), present)
+	}
+	vi := 0
+	for i := range col.present {
+		if col.present[i] {
+			col.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(vals[8*vi:]))
+			vi++
+		}
+	}
+	return col, nil
+}

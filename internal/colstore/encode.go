@@ -1,0 +1,174 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// magic is the colv1 stream-version header. Any layout change bumps it
+// and old shards become refusable, exactly like the sweep engine's
+// sparse-v1 row stream.
+const magic = "colv1\x00"
+
+// Column payload kinds, one byte each in the footer. classFloat columns
+// carry kindFloatRaw or kindFloatDict depending on the adaptive rule;
+// every other class maps to exactly one kind.
+const (
+	kindInt       byte = 'i' // zigzag-delta varints
+	kindStr       byte = 's' // dictionary + varint indices
+	kindFloatRaw  byte = 'f' // 8 bytes of IEEE-754 bits per row, little-endian
+	kindFloatDict byte = 'd' // float dictionary + varint indices
+	kindOpt       byte = 'o' // presence bitmap + raw bits for present rows
+)
+
+// maxFloatDict bounds the adaptive float dictionary. Axis-like float
+// columns (pfail, voltage, frequency) have a handful of distinct values
+// per shard; measurement columns have ~rows of them and stay raw.
+const maxFloatDict = 255
+
+// useFloatDict is the adaptive encoding rule: dictionary-encode when the
+// distinct count is small and the dictionary (8 bytes per entry plus
+// one index byte per row) beats raw bits (8 bytes per row). It is a
+// pure function of the values, which is what makes re-encoding a
+// decoded shard byte-identical; the decoder enforces the same rule in
+// reverse, refusing a shard whose representation the encoder would not
+// have chosen.
+func useFloatDict(distinct, rows int) bool {
+	return distinct <= maxFloatDict && 8*distinct < 7*rows
+}
+
+// zigzag maps signed to unsigned so small-magnitude deltas of either
+// sign stay short varints.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// EncodeBytes serializes the shard into its canonical colv1 bytes.
+// Encoding is deterministic: the same rows always produce the same
+// bytes, no matter which entrypoint, worker count or shard layout
+// produced the rows.
+func (s *Shard) EncodeBytes() []byte {
+	buf := []byte(magic)
+	type colMeta struct {
+		kind        byte
+		off, length uint64
+	}
+	metas := make([]colMeta, len(schema))
+	body := func(i int, kind byte, payload func([]byte) []byte) {
+		start := uint64(len(buf) - len(magic))
+		buf = payload(buf)
+		metas[i] = colMeta{kind: kind, off: start, length: uint64(len(buf)-len(magic)) - start}
+	}
+
+	for i, def := range schema {
+		switch def.class {
+		case classInt:
+			vals := s.ints[def.name]
+			body(i, kindInt, func(b []byte) []byte {
+				prev := int64(0)
+				for _, v := range vals {
+					b = binary.AppendUvarint(b, zigzag(v-prev))
+					prev = v
+				}
+				return b
+			})
+		case classStr:
+			col := s.strs[def.name]
+			body(i, kindStr, func(b []byte) []byte {
+				b = binary.AppendUvarint(b, uint64(len(col.dict)))
+				for _, v := range col.dict {
+					b = binary.AppendUvarint(b, uint64(len(v)))
+					b = append(b, v...)
+				}
+				for _, id := range col.idx {
+					b = binary.AppendUvarint(b, uint64(id))
+				}
+				return b
+			})
+		case classFloat:
+			vals := s.floats[def.name]
+			dict, idx, ok := floatDict(vals)
+			if ok && useFloatDict(len(dict), len(vals)) {
+				body(i, kindFloatDict, func(b []byte) []byte {
+					b = binary.AppendUvarint(b, uint64(len(dict)))
+					for _, v := range dict {
+						b = binary.LittleEndian.AppendUint64(b, v)
+					}
+					for _, id := range idx {
+						b = binary.AppendUvarint(b, uint64(id))
+					}
+					return b
+				})
+			} else {
+				body(i, kindFloatRaw, func(b []byte) []byte {
+					for _, v := range vals {
+						b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+					}
+					return b
+				})
+			}
+		case classOpt:
+			col := s.opts[def.name]
+			body(i, kindOpt, func(b []byte) []byte {
+				bitmap := make([]byte, (s.rows+7)/8)
+				for r, p := range col.present {
+					if p {
+						bitmap[r/8] |= 1 << (r % 8)
+					}
+				}
+				b = append(b, bitmap...)
+				for r, p := range col.present {
+					if p {
+						b = binary.LittleEndian.AppendUint64(b, math.Float64bits(col.vals[r]))
+					}
+				}
+				return b
+			})
+		}
+	}
+
+	footerStart := uint64(len(buf))
+	buf = binary.AppendUvarint(buf, uint64(s.rows))
+	buf = binary.AppendUvarint(buf, uint64(len(schema)))
+	for i, def := range schema {
+		buf = binary.AppendUvarint(buf, uint64(len(def.name)))
+		buf = append(buf, def.name...)
+		buf = append(buf, metas[i].kind)
+		buf = binary.AppendUvarint(buf, metas[i].off)
+		buf = binary.AppendUvarint(buf, metas[i].length)
+	}
+	return binary.LittleEndian.AppendUint64(buf, footerStart)
+}
+
+// Encode writes the canonical bytes to w.
+func (s *Shard) Encode(w io.Writer) error {
+	_, err := w.Write(s.EncodeBytes())
+	return err
+}
+
+// floatDict builds a first-appearance dictionary over the values' bit
+// patterns (bits, not float equality: -0 and 0 stay distinct and NaN
+// payloads survive), returning the dictionary and per-row indices. It
+// bails out (ok=false) as soon as the distinct count exceeds
+// maxFloatDict — measurement columns have ~rows distinct values and
+// must not pay for a full dictionary pass they will never use.
+func floatDict(vals []float64) (dict []uint64, idx []uint32, ok bool) {
+	dict = make([]uint64, 0, 16)
+	idx = make([]uint32, len(vals))
+	ids := make(map[uint64]uint32, 16)
+	for i, v := range vals {
+		bits := math.Float64bits(v)
+		id, seen := ids[bits]
+		if !seen {
+			if len(dict) == maxFloatDict {
+				return nil, nil, false
+			}
+			id = uint32(len(dict))
+			ids[bits] = id
+			dict = append(dict, bits)
+		}
+		idx[i] = id
+	}
+	return dict, idx, true
+}

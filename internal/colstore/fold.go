@@ -1,0 +1,167 @@
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vccmin/internal/sweep"
+)
+
+// Source yields a result set shard by shard — the query layer's input.
+// Shards arrive in row order: concatenating their rows reproduces the
+// original result set exactly (for a fold, the checkpoint order).
+type Source interface {
+	Shards(fn func(*Shard) error) error
+}
+
+// Mem is an in-memory Source: a slice of shards in row order.
+type Mem []*Shard
+
+// Shards implements Source.
+func (m Mem) Shards(fn func(*Shard) error) error {
+	for _, s := range m {
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardsOf chunks rows into shards of shardRows each (0 =
+// DefaultShardRows), preserving order.
+func ShardsOf(rows []sweep.Row, shardRows int) (Mem, error) {
+	if shardRows <= 0 {
+		shardRows = DefaultShardRows
+	}
+	var out Mem
+	for len(rows) > 0 {
+		n := shardRows
+		if n > len(rows) {
+			n = len(rows)
+		}
+		s, err := NewShard(rows[:n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		rows = rows[n:]
+	}
+	return out, nil
+}
+
+// shardFileName numbers shard files so a lexical directory listing is
+// row order: 000000.colv1, 000001.colv1, ...
+func shardFileName(i int) string { return fmt.Sprintf("%06d.colv1", i) }
+
+// WriteDir folds rows into a shard directory, atomically: shards are
+// written into a temp directory that is renamed into place, so a
+// concurrent reader never sees a half-folded directory. If dir already
+// exists the fold is a no-op — shard bytes are a deterministic function
+// of the rows, so whoever got there first wrote the same bytes.
+func WriteDir(dir string, rows []sweep.Row, shardRows int) error {
+	if _, err := os.Stat(dir); err == nil {
+		return nil
+	}
+	shards, err := ShardsOf(rows, shardRows)
+	if err != nil {
+		return err
+	}
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp(parent, ".fold-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	for i, s := range shards {
+		if err := os.WriteFile(filepath.Join(tmp, shardFileName(i)), s.EncodeBytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		// A concurrent fold won the rename; its bytes are ours.
+		if _, serr := os.Stat(dir); serr == nil {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// FoldJSONL folds a completed sweep's JSONL checkpoint into a shard
+// directory, preserving checkpoint order (the order GET
+// /v1/sweeps/{id}/rows pages in — a resumed job's checkpoint is not in
+// cell-index order, and the fold must not reorder it). Returns the row
+// count.
+func FoldJSONL(src, dir string, shardRows int) (int, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	rows, err := sweep.ReadRows(f)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteDir(dir, rows, shardRows); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// Dir is an on-disk Source: a directory of *.colv1 shard files read in
+// lexical (= row) order.
+type Dir struct {
+	path  string
+	files []string
+}
+
+// OpenDir lists dir's shard files. A directory with none is valid (an
+// empty result set folds to zero shards).
+func OpenDir(path string) (*Dir, error) {
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dir{path: path}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".colv1" {
+			d.files = append(d.files, e.Name())
+		}
+	}
+	sort.Strings(d.files)
+	return d, nil
+}
+
+// Shards implements Source, decoding each file in turn.
+func (d *Dir) Shards(fn func(*Shard) error) error {
+	for _, name := range d.files {
+		b, err := os.ReadFile(filepath.Join(d.path, name))
+		if err != nil {
+			return err
+		}
+		s, err := Decode(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows materializes every shard's rows in order — the cross-check and
+// CLI convenience path, not the query path (Query never calls it).
+func Rows(src Source) ([]sweep.Row, error) {
+	var out []sweep.Row
+	err := src.Shards(func(s *Shard) error {
+		out = append(out, s.Rows()...)
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,423 @@
+package colstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vccmin/internal/stats"
+)
+
+// Axes are the groupable/filterable coordinates. "geometry" is the
+// composite SIZExWAYSxBLOCK rendering of the three geom_* columns;
+// "policy" renders the classic cells' empty policy as "none" (the
+// dvfs.PolicyNone spelling), so the axis has no invisible value.
+var Axes = []string{"pfail", "geometry", "scheme", "victim", "granularity", "policy", "stream"}
+
+// Metrics are the aggregatable numeric columns. Integer columns
+// aggregate as floats; the optional DVFS columns aggregate over the
+// rows that carry them (scheduled cells), so their count can be smaller
+// than the group's cell count.
+var Metrics = []string{
+	"expected_capacity", "whole_cache_fail_prob",
+	"mean_ipc", "baseline_ipc", "ipc_degradation", "measured_capacity",
+	"unfit_trials", "voltage", "frequency", "energy_per_instruction",
+	"trials", "benchmarks",
+	"dvfs_performance", "dvfs_energy_per_instruction", "dvfs_switches", "dvfs_low_share",
+}
+
+// maxGroupBy bounds the group-by depth. Seven axes exist but grouping
+// by more than a few re-enumerates the grid; four covers every sensible
+// slice and keeps the per-row group signature a fixed-size array.
+const maxGroupBy = 4
+
+// Spec is one aggregation question over a result set: filter rows,
+// group them by axes, aggregate metrics within each group.
+type Spec struct {
+	// GroupBy lists up to four axes; empty aggregates everything into
+	// the single group "all".
+	GroupBy []string `json:"group_by,omitempty"`
+	// Metrics lists the columns to aggregate; at least one.
+	Metrics []string `json:"metrics"`
+	// Where keeps only rows whose axis renders exactly to the given
+	// value (e.g. {"scheme": "block-disable"}, {"pfail": "0.001"}).
+	Where map[string]string `json:"where,omitempty"`
+	// PfailMin/PfailMax keep only rows with pfail in the closed range.
+	PfailMin *float64 `json:"pfail_min,omitempty"`
+	PfailMax *float64 `json:"pfail_max,omitempty"`
+}
+
+// Check validates the spec against the axis and metric whitelists.
+func (q Spec) Check() error {
+	if len(q.GroupBy) > maxGroupBy {
+		return fmt.Errorf("colstore: %d group-by axes, limit %d", len(q.GroupBy), maxGroupBy)
+	}
+	seen := map[string]bool{}
+	for _, a := range q.GroupBy {
+		if !contains(Axes, a) {
+			return fmt.Errorf("colstore: unknown group-by axis %q (axes: %s)", a, strings.Join(Axes, ", "))
+		}
+		if seen[a] {
+			return fmt.Errorf("colstore: duplicate group-by axis %q", a)
+		}
+		seen[a] = true
+	}
+	if len(q.Metrics) == 0 {
+		return fmt.Errorf("colstore: at least one metric required (metrics: %s)", strings.Join(Metrics, ", "))
+	}
+	seenM := map[string]bool{}
+	for _, m := range q.Metrics {
+		if !contains(Metrics, m) {
+			return fmt.Errorf("colstore: unknown metric %q (metrics: %s)", m, strings.Join(Metrics, ", "))
+		}
+		if seenM[m] {
+			return fmt.Errorf("colstore: duplicate metric %q", m)
+		}
+		seenM[m] = true
+	}
+	for a := range q.Where {
+		if !contains(Axes, a) {
+			return fmt.Errorf("colstore: unknown where axis %q (axes: %s)", a, strings.Join(Axes, ", "))
+		}
+	}
+	if q.PfailMin != nil && q.PfailMax != nil && *q.PfailMin > *q.PfailMax {
+		return fmt.Errorf("colstore: pfail range [%v,%v] is empty", *q.PfailMin, *q.PfailMax)
+	}
+	return nil
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Aggregate is one metric's summary within one group. Quantiles are
+// stats.QuantileSorted nearest-rank order statistics — the same
+// definition the population layer's Vcc-min quantiles use. A metric
+// with no carrying rows (count 0) reports zeros, never NaN.
+type Aggregate struct {
+	Metric string  `json:"metric"`
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// Group is one group-by bucket: its canonical key ("axis=value;..." in
+// GroupBy order, or "all"), the matched row count, and one Aggregate
+// per requested metric, in request order.
+type Group struct {
+	Key        string      `json:"key"`
+	Cells      int         `json:"cells"`
+	Aggregates []Aggregate `json:"aggregates"`
+}
+
+// Result is a query's answer.
+type Result struct {
+	// Rows is the total row count scanned; Matched the rows that passed
+	// the filters.
+	Rows    int     `json:"rows"`
+	Matched int     `json:"matched"`
+	Groups  []Group `json:"groups"`
+}
+
+// Query evaluates the spec over the source without materializing rows:
+// it scans columns shard by shard, collects each group×metric sample,
+// and aggregates over the sorted sample. Sorting before aggregating is
+// what makes the answer independent of row order — a fresh run's
+// cell-order checkpoint and a resumed run's appended-tail checkpoint
+// hold the same rows in different orders and must produce byte-identical
+// aggregates, since the query's cache identity does not include the
+// source's history.
+func Query(src Source, q Spec) (*Result, error) {
+	if err := q.Check(); err != nil {
+		return nil, err
+	}
+	st := &queryState{spec: q, groups: map[string]*groupAcc{}}
+	err := src.Shards(func(s *Shard) error { return st.scan(s) })
+	if err != nil {
+		return nil, err
+	}
+	return st.finalize(), nil
+}
+
+// groupAcc accumulates one group across shards.
+type groupAcc struct {
+	key   string
+	parts []axisValue // one per GroupBy axis, for canonical ordering
+	cells int
+	vals  [][]float64 // per metric, scan order (sorted at finalize)
+}
+
+// axisValue is one axis coordinate of a group: its rendering plus a
+// numeric sort key for the numeric axes (pfail sorts by value,
+// geometry by size/ways/block — lexical order would put 8192 after
+// 32768).
+type axisValue struct {
+	str     string
+	nums    []float64
+	numeric bool
+}
+
+type queryState struct {
+	spec    Spec
+	groups  map[string]*groupAcc
+	rows    int
+	matched int
+}
+
+// scan processes one shard: per-row filter, group signature, metric
+// appends. Group identity within the shard is a fixed array of per-axis
+// dictionary ids; the id→group pointer map makes the per-row cost a
+// couple of array reads and one map probe.
+func (st *queryState) scan(s *Shard) error {
+	st.rows += s.rows
+	match := st.rowFilter(s)
+	axes := make([]axisReader, len(st.spec.GroupBy))
+	for i, a := range st.spec.GroupBy {
+		axes[i] = newAxisReader(s, a)
+	}
+	metrics := make([]func(r int) (float64, bool), len(st.spec.Metrics))
+	for i, m := range st.spec.Metrics {
+		metrics[i] = metricReader(s, m)
+	}
+	local := map[[maxGroupBy]uint32]*groupAcc{}
+	for r := 0; r < s.rows; r++ {
+		if !match(r) {
+			continue
+		}
+		st.matched++
+		var sig [maxGroupBy]uint32
+		for i, ax := range axes {
+			sig[i] = ax.id(r)
+		}
+		acc, ok := local[sig]
+		if !ok {
+			acc = st.globalGroup(axes, r)
+			local[sig] = acc
+		}
+		acc.cells++
+		for i, mr := range metrics {
+			if v, ok := mr(r); ok {
+				acc.vals[i] = append(acc.vals[i], v)
+			}
+		}
+	}
+	return nil
+}
+
+// globalGroup resolves a shard-local signature to the cross-shard
+// group, creating it on first sight. Keyed by the canonical key string:
+// shard-local dictionary ids differ across shards, renderings do not.
+func (st *queryState) globalGroup(axes []axisReader, r int) *groupAcc {
+	parts := make([]axisValue, len(axes))
+	for i, ax := range axes {
+		parts[i] = ax.value(r)
+	}
+	key := "all"
+	if len(axes) > 0 {
+		var b strings.Builder
+		for i, p := range parts {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(st.spec.GroupBy[i])
+			b.WriteByte('=')
+			b.WriteString(p.str)
+		}
+		key = b.String()
+	}
+	acc, ok := st.groups[key]
+	if !ok {
+		acc = &groupAcc{key: key, parts: parts, vals: make([][]float64, len(st.spec.Metrics))}
+		st.groups[key] = acc
+	}
+	return acc
+}
+
+// rowFilter compiles the Where clauses and pfail range into one
+// predicate over the shard.
+func (st *queryState) rowFilter(s *Shard) func(r int) bool {
+	var preds []func(r int) bool
+	for _, a := range Axes {
+		want, ok := st.spec.Where[a]
+		if !ok {
+			continue
+		}
+		ax := newAxisReader(s, a)
+		preds = append(preds, func(r int) bool { return ax.value(r).str == want })
+	}
+	if st.spec.PfailMin != nil || st.spec.PfailMax != nil {
+		pf := s.floats["pfail"]
+		min, max := st.spec.PfailMin, st.spec.PfailMax
+		preds = append(preds, func(r int) bool {
+			return (min == nil || pf[r] >= *min) && (max == nil || pf[r] <= *max)
+		})
+	}
+	return func(r int) bool {
+		for _, p := range preds {
+			if !p(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// axisReader reads one axis of one shard: a shard-local dense id for
+// group signatures and the rendered value for keys and filters.
+type axisReader struct {
+	id    func(r int) uint32
+	value func(r int) axisValue
+}
+
+func newAxisReader(s *Shard, axis string) axisReader {
+	switch axis {
+	case "pfail":
+		col := s.floats["pfail"]
+		ids := map[float64]uint32{}
+		rendered := []axisValue{}
+		return axisReader{
+			id: func(r int) uint32 {
+				v := col[r]
+				id, ok := ids[v]
+				if !ok {
+					id = uint32(len(rendered))
+					ids[v] = id
+					rendered = append(rendered, axisValue{
+						str:     strconv.FormatFloat(v, 'g', -1, 64),
+						nums:    []float64{v},
+						numeric: true,
+					})
+				}
+				return id
+			},
+			value: func(r int) axisValue {
+				v := col[r]
+				return axisValue{str: strconv.FormatFloat(v, 'g', -1, 64), nums: []float64{v}, numeric: true}
+			},
+		}
+	case "geometry":
+		size, ways, block := s.ints["geom_size"], s.ints["geom_ways"], s.ints["geom_block"]
+		ids := map[[3]int64]uint32{}
+		var count uint32
+		return axisReader{
+			id: func(r int) uint32 {
+				k := [3]int64{size[r], ways[r], block[r]}
+				id, ok := ids[k]
+				if !ok {
+					id = count
+					ids[k] = id
+					count++
+				}
+				return id
+			},
+			value: func(r int) axisValue {
+				return axisValue{
+					str:     fmt.Sprintf("%dx%dx%d", size[r], ways[r], block[r]),
+					nums:    []float64{float64(size[r]), float64(ways[r]), float64(block[r])},
+					numeric: true,
+				}
+			},
+		}
+	default: // dictionary axes: scheme, victim, granularity, policy, stream
+		col := s.strs[axis]
+		render := func(v string) string {
+			if axis == "policy" && v == "" {
+				return "none"
+			}
+			return v
+		}
+		return axisReader{
+			id: func(r int) uint32 { return col.idx[r] },
+			value: func(r int) axisValue {
+				return axisValue{str: render(col.value(r))}
+			},
+		}
+	}
+}
+
+// metricReader reads one metric column; ok=false means the row does not
+// carry the metric (optional DVFS columns on classic rows).
+func metricReader(s *Shard, metric string) func(r int) (float64, bool) {
+	if col, ok := s.floats[metric]; ok {
+		return func(r int) (float64, bool) { return col[r], true }
+	}
+	if col, ok := s.ints[metric]; ok {
+		return func(r int) (float64, bool) { return float64(col[r]), true }
+	}
+	col := s.opts[metric]
+	return func(r int) (float64, bool) { return col.vals[r], col.present[r] }
+}
+
+// finalize orders the groups canonically and aggregates each sorted
+// sample.
+func (st *queryState) finalize() *Result {
+	groups := make([]*groupAcc, 0, len(st.groups))
+	for _, g := range st.groups {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return lessParts(groups[i].parts, groups[j].parts) })
+	res := &Result{Rows: st.rows, Matched: st.matched, Groups: make([]Group, len(groups))}
+	for gi, g := range groups {
+		out := Group{Key: g.key, Cells: g.cells, Aggregates: make([]Aggregate, len(st.spec.Metrics))}
+		for mi, name := range st.spec.Metrics {
+			out.Aggregates[mi] = aggregate(name, g.vals[mi])
+		}
+		res.Groups[gi] = out
+	}
+	return res
+}
+
+// aggregate summarizes one sorted sample. Summing the sorted sample
+// (not the scan-order one) is what pins the mean's float rounding to a
+// row-order-independent value.
+func aggregate(metric string, vals []float64) Aggregate {
+	a := Aggregate{Metric: metric, Count: len(vals)}
+	if len(vals) == 0 {
+		return a
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	a.Mean = sum / float64(len(vals))
+	a.Min = vals[0]
+	a.Max = vals[len(vals)-1]
+	a.P50 = stats.QuantileSorted(vals, 0.50)
+	a.P90 = stats.QuantileSorted(vals, 0.90)
+	a.P99 = stats.QuantileSorted(vals, 0.99)
+	return a
+}
+
+// lessParts compares group coordinates axis by axis: numeric axes by
+// value, the rest lexically.
+func lessParts(a, b []axisValue) bool {
+	for i := range a {
+		av, bv := a[i], b[i]
+		if av.numeric && bv.numeric {
+			for k := range av.nums {
+				if k >= len(bv.nums) {
+					break
+				}
+				if av.nums[k] != bv.nums[k] {
+					return av.nums[k] < bv.nums[k]
+				}
+			}
+			continue
+		}
+		if av.str != bv.str {
+			return av.str < bv.str
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package colstore
+
+// raceEnabled scales the differential population down under the race
+// detector (see oracleRowCount).
+const raceEnabled = false

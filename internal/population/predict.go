@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"vccmin/internal/sim"
+	"vccmin/internal/stats"
 )
 
 // PredictSpec configures a data-efficient Vcc-min prediction study: for
@@ -139,9 +140,9 @@ func RunPredict(spec PredictSpec) (*PredictResult, error) {
 	res.MeanAbsError = sum / float64(len(errs))
 	sorted := append([]float64(nil), errs...)
 	sort.Float64s(sorted)
-	res.P50 = quantileSorted(sorted, 0.50)
-	res.P90 = quantileSorted(sorted, 0.90)
-	res.P99 = quantileSorted(sorted, 0.99)
+	res.P50 = stats.QuantileSorted(sorted, 0.50)
+	res.P90 = stats.QuantileSorted(sorted, 0.90)
+	res.P99 = stats.QuantileSorted(sorted, 0.99)
 	res.Max = sorted[len(sorted)-1]
 	return res, nil
 }
@@ -176,20 +177,4 @@ func (p *prober) estimateAndTruth(scheme sim.Scheme, k int) (est, truth float64)
 		est = truth
 	}
 	return est, truth
-}
-
-// quantileSorted reads quantile q from an ascending-sorted slice by
-// nearest-rank.
-func quantileSorted(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return math.NaN()
-	}
-	i := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

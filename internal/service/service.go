@@ -31,6 +31,7 @@
 //	GET  /v1/overhead                Table I transistor rows
 //	GET  /v1/dvfs                    phase-aware DVFS Pareto explorer
 //	POST /v1/sim                     one simulation run, synchronous
+//	POST /v1/query                   colstore aggregation over a sweep's result set
 //	POST /v1/batch                   heterogeneous task list, batch tier, sheddable
 //	POST /v1/sweeps                  enqueue a sweep job (202; idempotent by spec hash)
 //	GET  /v1/sweeps                  list jobs (?offset=&limit=, X-Total-Count)
@@ -181,6 +182,10 @@ type (
 	SimResponse = tasks.SimResponse
 	// SweepRequest is the POST /v1/sweeps body.
 	SweepRequest = tasks.SweepRequest
+	// QueryRequest is the POST /v1/query body.
+	QueryRequest = tasks.QueryRequest
+	// QueryResponse is the POST /v1/query payload.
+	QueryResponse = tasks.QueryResponse
 	// DVFSResponse is the GET /v1/dvfs payload.
 	DVFSResponse = tasks.DVFSResponse
 )
@@ -243,6 +248,7 @@ func (s *Server) routes() {
 		{"GET", "/v1/fleet", s.handleFleet},
 		{"POST", "/v1/fleet", s.handleFleetPost},
 		{"POST", "/v1/sim", s.handleSim},
+		{"POST", "/v1/query", s.handleQuery},
 		{"POST", "/v1/batch", s.handleBatch},
 		{"POST", "/v1/sweeps", s.handleSweepPost},
 		{"GET", "/v1/sweeps", s.handleSweepList},
@@ -485,17 +491,28 @@ func (s *Server) submitWait(ctx context.Context, tier engine.Tier, work func(con
 // requester's own cancellation 503, and a full interactive queue is
 // shed with 503 + Retry-After.
 func (s *Server) runTask(w http.ResponseWriter, r *http.Request, t engine.Task) {
+	s.runTaskTier(w, r, t, engine.TierInteractive)
+}
+
+// runTaskTier is runTask on an explicit pool tier: the query endpoint
+// routes checkpoint-backed (cheap) queries interactively and
+// sweep-computing ones onto the batch tier behind the sweep jobs.
+func (s *Server) runTaskTier(w http.ResponseWriter, r *http.Request, t engine.Task, tier engine.Tier) {
+	queue := "interactive"
+	if tier == engine.TierBatch {
+		queue = "batch"
+	}
 	var (
 		res engine.Result
 		err error
 	)
-	serr := s.submitWait(r.Context(), engine.TierInteractive, func(ctx context.Context) {
+	serr := s.submitWait(r.Context(), tier, func(ctx context.Context) {
 		res, err = s.eng.Do(ctx, t)
 	})
 	switch {
 	case errors.Is(serr, engine.ErrPoolFull):
-		s.shed503(w, ErrCodeOverloaded, map[string]any{"queue": "interactive"},
-			"interactive queue full; retry shortly")
+		s.shed503(w, ErrCodeOverloaded, map[string]any{"queue": queue},
+			"%s queue full; retry shortly", queue)
 		return
 	case errors.Is(serr, engine.ErrPoolDraining):
 		s.shed503(w, ErrCodeDraining, nil, "shutting down; retry against another node")

@@ -132,6 +132,26 @@ func Percentile(vals []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// QuantileSorted reads quantile q from an ascending-sorted sample by
+// nearest rank. Unlike Percentile it neither copies nor interpolates:
+// the result is always an element of the sample, and an empty sample
+// yields NaN. The population layer's Vcc-min quantiles and the colstore
+// query aggregates both funnel through it, so "p99" means the same
+// order statistic everywhere.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
 // Histogram is a fixed-width bucketing of a sample over [Lo, Hi).
 type Histogram struct {
 	Lo, Hi float64

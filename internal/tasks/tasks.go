@@ -2,9 +2,9 @@
 // engine tasks: the Section IV capacity analysis, the Fig. 1
 // operating-point model, the Table I overhead accounting, single
 // simulations, sweep runs and individual sweep cells, the phase-aware
-// DVFS scheduler (single runs and Pareto explorations), and the
+// DVFS scheduler (single runs and Pareto explorations), the
 // fleet-scale population layer (fleet sweeps and Vcc-min prediction
-// studies).
+// studies), and colstore aggregation queries over sweep result sets.
 //
 // Each kind is a request struct (the JSON shape shared by the HTTP
 // handlers, POST /v1/batch and the CLIs), a constructor that validates
@@ -40,6 +40,7 @@ const (
 	KindDVFSExplore    = "dvfs-explore"
 	KindFleetSweep     = "fleet-sweep"
 	KindVccminPredict  = "vccmin-predict"
+	KindQuery          = "query"
 )
 
 func init() {
@@ -72,6 +73,9 @@ func init() {
 	}))
 	engine.RegisterKind(KindVccminPredict, decodeInto(func(r PredictRequest) (engine.Task, error) {
 		return NewPredictTask(r)
+	}))
+	engine.RegisterKind(KindQuery, decodeInto(func(r QueryRequest) (engine.Task, error) {
+		return NewQueryTask(r)
 	}))
 }
 

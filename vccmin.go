@@ -46,6 +46,7 @@ import (
 	"io"
 	"math/rand"
 
+	"vccmin/internal/colstore"
 	"vccmin/internal/core"
 	"vccmin/internal/dvfs"
 	"vccmin/internal/engine"
@@ -442,6 +443,7 @@ const (
 	TaskKindDVFSExplore    = tasks.KindDVFSExplore
 	TaskKindFleetSweep     = tasks.KindFleetSweep
 	TaskKindVccminPredict  = tasks.KindVccminPredict
+	TaskKindQuery          = tasks.KindQuery
 )
 
 // NewEngine builds a compute engine; pass a Dir to persist results
@@ -587,6 +589,63 @@ type VccminPredictResult = population.PredictResult
 // the fleet.
 func RunVccminPredict(spec VccminPredictSpec) (*VccminPredictResult, error) {
 	return population.RunPredict(spec)
+}
+
+// ---- Columnar result queries ----
+
+// QueryRequest is the aggregation-query task's request (the POST
+// /v1/query body): a sweep grid naming the result set plus the
+// question — group-by axes, metrics, equality filters and a pfail
+// range.
+type QueryRequest = tasks.QueryRequest
+
+// QueryResponse is the query task's answer: the resolved question and
+// the aggregated groups.
+type QueryResponse = tasks.QueryResponse
+
+// QuerySpec is the bare aggregation question, for querying rows already
+// in hand (see QuerySweepRows).
+type QuerySpec = colstore.Spec
+
+// QueryResult is a bare query's answer: row/match counts and groups.
+type QueryResult = colstore.Result
+
+// QueryGroup is one group of a query answer.
+type QueryGroup = colstore.Group
+
+// QueryAggregate is one metric's aggregates within a group.
+type QueryAggregate = colstore.Aggregate
+
+// QuerySweepRows aggregates finished sweep rows (e.g. re-read from a
+// checkpoint via ReadSweepRows) through the columnar query layer. The
+// answer is independent of row order, so a resumed checkpoint and a
+// fresh run agree exactly.
+func QuerySweepRows(rows []SweepRow, q QuerySpec) (*QueryResult, error) {
+	src, err := colstore.ShardsOf(rows, colstore.DefaultShardRows)
+	if err != nil {
+		return nil, err
+	}
+	return colstore.Query(src, q)
+}
+
+// EncodeSweepShard packs finished sweep rows into one colstore shard's
+// canonical colv1 bytes; DecodeSweepShard reverses it, rejecting any
+// malformed or non-canonical input.
+func EncodeSweepShard(rows []SweepRow) ([]byte, error) {
+	s, err := colstore.NewShard(rows)
+	if err != nil {
+		return nil, err
+	}
+	return s.EncodeBytes(), nil
+}
+
+// DecodeSweepShard parses canonical colv1 shard bytes back into rows.
+func DecodeSweepShard(data []byte) ([]SweepRow, error) {
+	s, err := colstore.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return s.Rows(), nil
 }
 
 // ---- Extensions: bit-fix and disabling granularity ----
