@@ -34,9 +34,10 @@ bench-gate:
 # The differential equivalence suites under the race detector: the frozen
 # pre-optimization reference implementations (dense fault-map generation,
 # oracle DP, probe measurement, frontier marking, the naive row-wise
-# query evaluator) held byte-identical to the optimized hot paths.
+# query evaluator, the rebuild-per-probe fleet prober) held byte-identical
+# to the optimized hot paths.
 diff-race:
-	$(GO) test -race -run 'Differential|ProbeCacheHit|MarkFrontierMatchesRebuild|FrontierSet' ./internal/faults ./internal/dvfs ./internal/colstore
+	$(GO) test -race -run 'Differential|ProbeCacheHit|MarkFrontierMatchesRebuild|FrontierSet' ./internal/faults ./internal/dvfs ./internal/colstore ./internal/population
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -128,12 +129,13 @@ loadgen-smoke:
 	$(GO) run ./cmd/vccmin-loadgen -self -rate 200 -requests 600 \
 		-json loadgen-smoke.json -bench-out loadgen-smoke.txt
 
-# Fleet population smoke: a 2000-die sweep and a prediction study
-# through the vccmin-fleet CLI (the same tasks GET/POST /v1/fleet run).
+# Fleet population smoke: a 20000-die sweep (minutes of work before the
+# incremental-walk prober, seconds after) and a prediction study through
+# the vccmin-fleet CLI (the same tasks GET/POST /v1/fleet run).
 fleet-smoke:
-	$(GO) run ./cmd/vccmin-fleet -dies 2000 -schemes block,word -seed 7 \
+	$(GO) run ./cmd/vccmin-fleet -dies 20000 -schemes block,word -seed 7 \
 		-out /tmp/fleet-smoke.json
-	$(GO) run ./cmd/vccmin-fleet -predict 6 -dies 2000 -sample 64 -seed 7 \
+	$(GO) run ./cmd/vccmin-fleet -predict 6 -dies 20000 -sample 256 -seed 7 \
 		-out /tmp/fleet-predict-smoke.json
 
 # Columnar query smoke: the same aggregation answered from a finished

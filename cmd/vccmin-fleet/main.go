@@ -27,12 +27,16 @@
 //
 // Scheme flags take comma-separated values. Workers only changes
 // scheduling: results are bit-identical at any -workers value.
+// -cpuprofile and -memprofile write runtime/pprof profiles of the run,
+// so a speed campaign starts from data instead of guesses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vccmin/internal/cliflag"
 	"vccmin/internal/clirun"
@@ -57,6 +61,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "fan-out goroutines (0 = GOMAXPROCS); never changes results")
 		out          = flag.String("out", "", "output JSON file (empty = stdout)")
 		pretty       = flag.Bool("pretty", true, "indent the JSON (false emits the server's exact compact bytes)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile   = flag.String("memprofile", "", "write an allocation profile (post-GC heap) to this file on exit")
 		cacheDir     = clirun.ResultCacheFlag()
 		version      = clirun.VersionFlag()
 	)
@@ -64,6 +70,12 @@ func main() {
 	if clirun.HandleVersion(version) {
 		return
 	}
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		clirun.Fatal("vccmin-fleet", err)
+	}
+	defer stopProfiles()
 
 	eng, err := clirun.NewEngine(*cacheDir)
 	if err != nil {
@@ -145,6 +157,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fleet: %s: %d/%d dies reach the floor, %d fail at nominal, p99 Vcc-min %.4g V\n",
 			sy.Scheme, sy.ReachFloor, resp.Dies, sy.FailedAtNominal, sy.P99)
 	}
+}
+
+// startProfiles arms -cpuprofile/-memprofile and returns the teardown
+// main defers: stop the CPU profile, then snapshot the post-GC heap.
+// clirun.Fatal exits without running it, so profiles only land for
+// successful runs — the ones worth profiling.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintln(os.Stderr, "vccmin-fleet: wrote CPU profile to", cpu)
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vccmin-fleet: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vccmin-fleet: memprofile:", err)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "vccmin-fleet: wrote heap profile to", mem)
+		}
+	}, nil
 }
 
 // setIfNonZero materializes an optional float flag: 0 means "take the

@@ -18,9 +18,11 @@
 // -json writes the full report with histogram buckets.
 //
 // The endpoint mix defaults to loadgen.DefaultMix (analytics GETs, a
-// sim POST, a sweep enqueue, a stats probe); -mix reweights it, e.g.
-// -mix capacity=8,sim=2 drops every other endpoint and splits traffic
-// 80/20.
+// sim POST, a sweep enqueue, a stats probe); -mix extended adds the
+// fleet sweep GET and the columnar query POST, and a
+// name=weight[,name=weight...] spec picks and reweights endpoints from
+// that extended set, e.g. -mix capacity=8,fleet=2 drops every other
+// endpoint and splits traffic 80/20.
 package main
 
 import (
@@ -48,7 +50,7 @@ func main() {
 		self     = flag.Bool("self", false, "host the service in-process on a loopback port with a throwaway data dir")
 		rate     = flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
 		requests = flag.Int("requests", 1000, "total requests to launch")
-		mixSpec  = flag.String("mix", "", "reweight the endpoint mix: name=weight[,name=weight...] (names from the default mix; unlisted names drop out)")
+		mixSpec  = flag.String("mix", "", "endpoint mix: empty = default, \"extended\" adds fleet+query, or name=weight[,name=weight...] over the extended set (unlisted names drop out)")
 		seed     = flag.Int64("seed", 1, "endpoint-pick PRNG seed")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		apiKey   = flag.String("api-key", "", "X-API-Key sent with every request (the rate limiter's client key)")
@@ -134,12 +136,18 @@ func run(base string, self bool, rate float64, requests int, mixSpec string, see
 	return nil
 }
 
-// buildMix returns the default mix, reweighted by a
-// "name=weight,name=weight" spec: listed endpoints get the given
-// weight, unlisted ones drop out. An empty spec keeps the default.
+// buildMix resolves the -mix spec: empty keeps DefaultMix (byte-stable
+// request streams for existing snapshots), "extended" takes
+// loadgen.ExtendedMix wholesale, and a "name=weight,name=weight" spec
+// picks and reweights endpoints from the extended universe — so
+// `-mix fleet=3,query=2,capacity=5` builds a mix DefaultMix never
+// carried. Listed endpoints get the given weight, unlisted drop out.
 func buildMix(spec string) ([]loadgen.Endpoint, error) {
-	mix := loadgen.DefaultMix()
 	if spec == "" {
+		return loadgen.DefaultMix(), nil
+	}
+	mix := loadgen.ExtendedMix()
+	if spec == "extended" {
 		return mix, nil
 	}
 	weights := map[string]float64{}

@@ -24,6 +24,10 @@
 // drain up to -drain-timeout, and anything still running is checkpointed
 // for the next start.
 //
+// -pprof serves net/http/pprof on its own address and mux — off the
+// public listener and outside the rate limiter — so a production
+// profile never competes with (or leaks through) the service surface.
+//
 // Quick check:
 //
 //	curl 'localhost:8780/v1/capacity?pfail=1e-3'
@@ -35,6 +39,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +66,7 @@ func main() {
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 		hdrTimeout = flag.Duration("read-header-timeout", 10*time.Second, "slowloris guard: how long a connection may take to send its header")
 		maxHeader  = flag.Int("max-header-bytes", 1<<20, "largest accepted request-header block")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 		version    = clirun.VersionFlag()
 	)
 	flag.Parse()
@@ -69,6 +76,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	fmt.Fprintf(os.Stderr, "vccmin-serve: %s listening on %s, data in %s\n",
 		buildinfo.String(), *addr, *data)
@@ -90,5 +101,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vccmin-serve:", err)
 		os.Exit(1)
+	}
+}
+
+// servePprof hosts the net/http/pprof handlers on their own mux and
+// listener, never the service's: the profiling surface stays off the
+// public address, outside the rate limiter, and bindable to loopback
+// only.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintln(os.Stderr, "vccmin-serve: pprof on", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "vccmin-serve: pprof:", err)
 	}
 }

@@ -21,6 +21,19 @@ var ErrBadMagic = errors.New("colstore: not a colv1 shard")
 // the very same bytes. Arbitrary input fails with an error; it never
 // panics, and every allocation is bounded by the input length.
 func Decode(data []byte) (*Shard, error) {
+	return DecodeColumns(data, nil)
+}
+
+// DecodeColumns parses canonical colv1 bytes, materializing only the
+// columns named in need (nil means every column — identical to
+// Decode). The header, footer, schema, kinds and body tiling are
+// validated exactly as Decode validates them; only the payload decode
+// of unneeded columns is skipped. A pruned decode therefore accepts
+// bytes whose skipped payloads are non-canonical — callers that need
+// the full round-trip guarantee (fold, fuzz, re-encode) use Decode;
+// the query layer, which never re-encodes, uses this to pay only for
+// the columns a spec references.
+func DecodeColumns(data []byte, need map[string]bool) (*Shard, error) {
 	if len(data) < len(magic)+8 {
 		return nil, fmt.Errorf("colstore: %d-byte input shorter than header+trailer", len(data))
 	}
@@ -87,6 +100,26 @@ func Decode(data []byte) (*Shard, error) {
 		}
 		bodyOff = off + length
 		payload := body[off : off+length]
+
+		if need != nil && !need[def.name] {
+			// Still refuse a kind byte that does not encode the schema
+			// class — the footer stays fully validated either way.
+			ok := false
+			switch def.class {
+			case classInt:
+				ok = kind == kindInt
+			case classStr:
+				ok = kind == kindStr
+			case classFloat:
+				ok = kind == kindFloatRaw || kind == kindFloatDict
+			case classOpt:
+				ok = kind == kindOpt
+			}
+			if !ok {
+				return nil, fmt.Errorf("colstore: column %s: kind %q does not encode its schema class", def.name, kind)
+			}
+			continue
+		}
 
 		switch {
 		case def.class == classInt && kind == kindInt:

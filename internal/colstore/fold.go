@@ -16,6 +16,19 @@ type Source interface {
 	Shards(fn func(*Shard) error) error
 }
 
+// ColumnSource is an optional Source extension for sources that can
+// deliver shards with only some columns materialized. Query probes for
+// it and passes the set of columns the spec actually references, so a
+// disk-backed source decodes 3 columns instead of 27 for a typical
+// group-by. The yielded shards are partial: columns outside need hold
+// zero values, and Rows must not be called on them.
+type ColumnSource interface {
+	Source
+	// ShardsColumns is Shards restricted to the named columns; nil
+	// means all (identical to Shards).
+	ShardsColumns(need map[string]bool, fn func(*Shard) error) error
+}
+
 // Mem is an in-memory Source: a slice of shards in row order.
 type Mem []*Shard
 
@@ -139,12 +152,19 @@ func OpenDir(path string) (*Dir, error) {
 
 // Shards implements Source, decoding each file in turn.
 func (d *Dir) Shards(fn func(*Shard) error) error {
+	return d.ShardsColumns(nil, fn)
+}
+
+// ShardsColumns implements ColumnSource: each file's footer and tiling
+// are validated in full, but only the needed columns' payloads are
+// decoded.
+func (d *Dir) ShardsColumns(need map[string]bool, fn func(*Shard) error) error {
 	for _, name := range d.files {
 		b, err := os.ReadFile(filepath.Join(d.path, name))
 		if err != nil {
 			return err
 		}
-		s, err := Decode(b)
+		s, err := DecodeColumns(b, need)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

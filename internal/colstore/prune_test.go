@@ -1,0 +1,170 @@
+package colstore
+
+// Column pruning and the radix aggregation sort: a pruned decode must
+// reproduce the needed columns bit-for-bit and keep all structural
+// validation; a Dir-backed query must answer byte-identically whether
+// it decodes 27 columns or 3; and sortFloats must match sort.Float64s
+// exactly, including the NaN and negative-zero fallbacks.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestDecodeColumnsPruned(t *testing.T) {
+	s, err := NewShard(genRows(3000, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := s.EncodeBytes()
+
+	need := map[string]bool{
+		"pfail": true, "scheme": true, "ipc_degradation": true,
+		"seed": true, "dvfs_switches": true,
+	}
+	pruned, err := DecodeColumns(enc, need)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NumRows() != s.NumRows() {
+		t.Fatalf("pruned shard has %d rows, want %d", pruned.NumRows(), s.NumRows())
+	}
+	if !reflect.DeepEqual(pruned.floats["pfail"], s.floats["pfail"]) {
+		t.Error("pruned pfail column differs from the full decode")
+	}
+	if !reflect.DeepEqual(pruned.strs["scheme"], s.strs["scheme"]) {
+		t.Error("pruned scheme column differs from the full decode")
+	}
+	if !reflect.DeepEqual(pruned.ints["seed"], s.ints["seed"]) {
+		t.Error("pruned seed column differs from the full decode")
+	}
+	if !reflect.DeepEqual(pruned.opts["dvfs_switches"], s.opts["dvfs_switches"]) {
+		t.Error("pruned dvfs_switches column differs from the full decode")
+	}
+	if pruned.ints["trials"] != nil || pruned.strs["victim"].idx != nil || pruned.floats["voltage"] != nil {
+		t.Error("pruned decode materialized columns outside the need set")
+	}
+
+	// nil need is the full decode: the shard round-trips.
+	full, err := DecodeColumns(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full.EncodeBytes(), enc) {
+		t.Error("DecodeColumns(nil) does not round-trip to the original bytes")
+	}
+}
+
+// TestDecodeColumnsKeepsStructuralChecks corrupts bytes outside the
+// needed columns' payloads — the footer and the body tiling — and
+// requires the pruned decode to still refuse them.
+func TestDecodeColumnsKeepsStructuralChecks(t *testing.T) {
+	s, err := NewShard(genRows(200, 9, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := s.EncodeBytes()
+	need := map[string]bool{"pfail": true}
+
+	truncated := enc[:len(enc)-9] // drop the trailer
+	if _, err := DecodeColumns(truncated, need); err == nil {
+		t.Error("pruned decode accepted a shard with no trailer")
+	}
+	badMagic := append([]byte("colv2\x00"), enc[6:]...)
+	if _, err := DecodeColumns(badMagic, need); err == nil {
+		t.Error("pruned decode accepted a colv2 magic")
+	}
+}
+
+func TestDirQueryPruned(t *testing.T) {
+	rows := genRows(10_000, 21, true)
+	dir := t.TempDir() + "/shards"
+	if err := WriteDir(dir, rows, 4096); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := ShardsOf(rows, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := 2e-4
+	specs := []Spec{
+		{GroupBy: []string{"pfail", "scheme"}, Metrics: []string{"ipc_degradation", "energy_per_instruction"}},
+		{GroupBy: []string{"geometry"}, Metrics: []string{"mean_ipc", "dvfs_low_share"},
+			Where: map[string]string{"policy": "none"}, PfailMin: &lo},
+		{Metrics: []string{"voltage"}},
+	}
+	for i, q := range specs {
+		fromDir, err := Query(d, q)
+		if err != nil {
+			t.Fatalf("spec %d over Dir: %v", i, err)
+		}
+		fromMem, err := Query(mem, q)
+		if err != nil {
+			t.Fatalf("spec %d over Mem: %v", i, err)
+		}
+		dj, _ := json.Marshal(fromDir)
+		mj, _ := json.Marshal(fromMem)
+		if !bytes.Equal(dj, mj) {
+			t.Errorf("spec %d: pruned Dir answer differs from the full Mem answer\ndir: %.300s\nmem: %.300s", i, dj, mj)
+		}
+	}
+}
+
+func TestSortFloatsMatchesSortFloat64s(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cases := [][]float64{}
+	// Random large samples with duplicates, negatives and infinities —
+	// the radix path.
+	for trial := 0; trial < 4; trial++ {
+		n := 128 + rng.Intn(5000)
+		vals := make([]float64, n)
+		for i := range vals {
+			switch rng.Intn(10) {
+			case 0:
+				vals[i] = float64(rng.Intn(4)) // duplicates
+			case 1:
+				vals[i] = -rng.Float64() * 1e300
+			case 2:
+				vals[i] = math.Inf(1 - 2*rng.Intn(2))
+			default:
+				vals[i] = (rng.Float64() - 0.5) * math.Exp(float64(rng.Intn(600)-300))
+			}
+		}
+		cases = append(cases, vals)
+	}
+	// Fallback paths: tiny, NaN-bearing, negative-zero-bearing.
+	cases = append(cases, []float64{3, 1, 2})
+	nan := make([]float64, 300)
+	negz := make([]float64, 300)
+	for i := range nan {
+		nan[i] = rng.NormFloat64()
+		negz[i] = rng.NormFloat64()
+	}
+	nan[137] = math.NaN()
+	negz[59] = math.Copysign(0, -1)
+	negz[60] = 0
+	cases = append(cases, nan, negz)
+
+	var sc sortScratch
+	for ci, vals := range cases {
+		want := append([]float64{}, vals...)
+		sort.Float64s(want)
+		sc.sortFloats(vals)
+		for i := range vals {
+			w, g := want[i], vals[i]
+			if math.Float64bits(w) != math.Float64bits(g) && !(math.IsNaN(w) && math.IsNaN(g)) {
+				t.Fatalf("case %d index %d: sortFloats %v (%#x), sort.Float64s %v (%#x)",
+					ci, i, g, math.Float64bits(g), w, math.Float64bits(w))
+			}
+		}
+	}
+}

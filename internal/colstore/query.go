@@ -2,6 +2,7 @@ package colstore
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -96,6 +97,41 @@ func contains(list []string, v string) bool {
 	return false
 }
 
+// axisColumns lists the underlying shard columns one axis reads: the
+// composite geometry axis spans three, every other axis is its own
+// column.
+func axisColumns(axis string) []string {
+	if axis == "geometry" {
+		return []string{"geom_size", "geom_ways", "geom_block"}
+	}
+	return []string{axis}
+}
+
+// columns is the set of shard columns the spec touches — what Query
+// asks a ColumnSource to decode. Metrics are columns by name; group-by
+// and where axes expand through axisColumns; the pfail range reads the
+// pfail column.
+func (q Spec) columns() map[string]bool {
+	need := map[string]bool{}
+	for _, a := range q.GroupBy {
+		for _, c := range axisColumns(a) {
+			need[c] = true
+		}
+	}
+	for a := range q.Where {
+		for _, c := range axisColumns(a) {
+			need[c] = true
+		}
+	}
+	if q.PfailMin != nil || q.PfailMax != nil {
+		need["pfail"] = true
+	}
+	for _, m := range q.Metrics {
+		need[m] = true
+	}
+	return need
+}
+
 // Aggregate is one metric's summary within one group. Quantiles are
 // stats.QuantileSorted nearest-rank order statistics — the same
 // definition the population layer's Vcc-min quantiles use. A metric
@@ -142,7 +178,13 @@ func Query(src Source, q Spec) (*Result, error) {
 		return nil, err
 	}
 	st := &queryState{spec: q, groups: map[string]*groupAcc{}}
-	err := src.Shards(func(s *Shard) error { return st.scan(s) })
+	scan := func(s *Shard) error { return st.scan(s) }
+	var err error
+	if cs, ok := src.(ColumnSource); ok {
+		err = cs.ShardsColumns(q.columns(), scan)
+	} else {
+		err = src.Shards(scan)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -176,8 +218,9 @@ type queryState struct {
 
 // scan processes one shard: per-row filter, group signature, metric
 // appends. Group identity within the shard is a fixed array of per-axis
-// dictionary ids; the id→group pointer map makes the per-row cost a
-// couple of array reads and one map probe.
+// dense ids, precomputed column-at-a-time; because checkpoints hold
+// long runs of rows sharing their group, a last-signature cache
+// resolves most rows without even the id→group map probe.
 func (st *queryState) scan(s *Shard) error {
 	st.rows += s.rows
 	match := st.rowFilter(s)
@@ -190,19 +233,26 @@ func (st *queryState) scan(s *Shard) error {
 		metrics[i] = metricReader(s, m)
 	}
 	local := map[[maxGroupBy]uint32]*groupAcc{}
+	var lastSig [maxGroupBy]uint32
+	var lastAcc *groupAcc
 	for r := 0; r < s.rows; r++ {
-		if !match(r) {
+		if match != nil && !match(r) {
 			continue
 		}
 		st.matched++
 		var sig [maxGroupBy]uint32
-		for i, ax := range axes {
-			sig[i] = ax.id(r)
+		for i := range axes {
+			sig[i] = axes[i].ids[r]
 		}
-		acc, ok := local[sig]
-		if !ok {
-			acc = st.globalGroup(axes, r)
-			local[sig] = acc
+		acc := lastAcc
+		if acc == nil || sig != lastSig {
+			var ok bool
+			acc, ok = local[sig]
+			if !ok {
+				acc = st.globalGroup(axes, r)
+				local[sig] = acc
+			}
+			lastSig, lastAcc = sig, acc
 		}
 		acc.cells++
 		for i, mr := range metrics {
@@ -244,7 +294,7 @@ func (st *queryState) globalGroup(axes []axisReader, r int) *groupAcc {
 }
 
 // rowFilter compiles the Where clauses and pfail range into one
-// predicate over the shard.
+// predicate over the shard; nil means every row matches.
 func (st *queryState) rowFilter(s *Shard) func(r int) bool {
 	var preds []func(r int) bool
 	for _, a := range Axes {
@@ -252,8 +302,8 @@ func (st *queryState) rowFilter(s *Shard) func(r int) bool {
 		if !ok {
 			continue
 		}
-		ax := newAxisReader(s, a)
-		preds = append(preds, func(r int) bool { return ax.value(r).str == want })
+		value := axisValueFn(s, a)
+		preds = append(preds, func(r int) bool { return value(r).str == want })
 	}
 	if st.spec.PfailMin != nil || st.spec.PfailMax != nil {
 		pf := s.floats["pfail"]
@@ -261,6 +311,12 @@ func (st *queryState) rowFilter(s *Shard) func(r int) bool {
 		preds = append(preds, func(r int) bool {
 			return (min == nil || pf[r] >= *min) && (max == nil || pf[r] <= *max)
 		})
+	}
+	if len(preds) == 0 {
+		return nil
+	}
+	if len(preds) == 1 {
+		return preds[0]
 	}
 	return func(r int) bool {
 		for _, p := range preds {
@@ -272,10 +328,14 @@ func (st *queryState) rowFilter(s *Shard) func(r int) bool {
 	}
 }
 
-// axisReader reads one axis of one shard: a shard-local dense id for
-// group signatures and the rendered value for keys and filters.
+// axisReader reads one axis of one shard: a shard-local dense id per
+// row for group signatures and the rendered value for keys and
+// filters. The ids are materialized up front, column at a time — for
+// the dictionary axes they are the dictionary indices as stored, and
+// for the numeric axes a run cache makes the id assignment one map
+// probe per value run instead of one per row.
 type axisReader struct {
-	id    func(r int) uint32
+	ids   []uint32
 	value func(r int) axisValue
 }
 
@@ -283,64 +343,74 @@ func newAxisReader(s *Shard, axis string) axisReader {
 	switch axis {
 	case "pfail":
 		col := s.floats["pfail"]
-		ids := map[float64]uint32{}
-		rendered := []axisValue{}
-		return axisReader{
-			id: func(r int) uint32 {
-				v := col[r]
-				id, ok := ids[v]
+		ids := make([]uint32, len(col))
+		seen := map[uint64]uint32{}
+		var lastBits uint64
+		var lastID uint32
+		for r, v := range col {
+			bits := math.Float64bits(v)
+			if r == 0 || bits != lastBits {
+				id, ok := seen[bits]
 				if !ok {
-					id = uint32(len(rendered))
-					ids[v] = id
-					rendered = append(rendered, axisValue{
-						str:     strconv.FormatFloat(v, 'g', -1, 64),
-						nums:    []float64{v},
-						numeric: true,
-					})
+					id = uint32(len(seen))
+					seen[bits] = id
 				}
-				return id
-			},
-			value: func(r int) axisValue {
-				v := col[r]
-				return axisValue{str: strconv.FormatFloat(v, 'g', -1, 64), nums: []float64{v}, numeric: true}
-			},
+				lastBits, lastID = bits, id
+			}
+			ids[r] = lastID
+		}
+		return axisReader{ids: ids, value: axisValueFn(s, axis)}
+	case "geometry":
+		size, ways, block := s.ints["geom_size"], s.ints["geom_ways"], s.ints["geom_block"]
+		ids := make([]uint32, len(size))
+		seen := map[[3]int64]uint32{}
+		var lastKey [3]int64
+		var lastID uint32
+		for r := range ids {
+			k := [3]int64{size[r], ways[r], block[r]}
+			if r == 0 || k != lastKey {
+				id, ok := seen[k]
+				if !ok {
+					id = uint32(len(seen))
+					seen[k] = id
+				}
+				lastKey, lastID = k, id
+			}
+			ids[r] = lastID
+		}
+		return axisReader{ids: ids, value: axisValueFn(s, axis)}
+	default: // dictionary axes: scheme, victim, granularity, policy, stream
+		return axisReader{ids: s.strs[axis].idx, value: axisValueFn(s, axis)}
+	}
+}
+
+// axisValueFn renders one axis of one shard row — the slow path, hit
+// once per new group and per Where comparison, never per grouped row.
+func axisValueFn(s *Shard, axis string) func(r int) axisValue {
+	switch axis {
+	case "pfail":
+		col := s.floats["pfail"]
+		return func(r int) axisValue {
+			v := col[r]
+			return axisValue{str: strconv.FormatFloat(v, 'g', -1, 64), nums: []float64{v}, numeric: true}
 		}
 	case "geometry":
 		size, ways, block := s.ints["geom_size"], s.ints["geom_ways"], s.ints["geom_block"]
-		ids := map[[3]int64]uint32{}
-		var count uint32
-		return axisReader{
-			id: func(r int) uint32 {
-				k := [3]int64{size[r], ways[r], block[r]}
-				id, ok := ids[k]
-				if !ok {
-					id = count
-					ids[k] = id
-					count++
-				}
-				return id
-			},
-			value: func(r int) axisValue {
-				return axisValue{
-					str:     fmt.Sprintf("%dx%dx%d", size[r], ways[r], block[r]),
-					nums:    []float64{float64(size[r]), float64(ways[r]), float64(block[r])},
-					numeric: true,
-				}
-			},
-		}
-	default: // dictionary axes: scheme, victim, granularity, policy, stream
-		col := s.strs[axis]
-		render := func(v string) string {
-			if axis == "policy" && v == "" {
-				return "none"
+		return func(r int) axisValue {
+			return axisValue{
+				str:     fmt.Sprintf("%dx%dx%d", size[r], ways[r], block[r]),
+				nums:    []float64{float64(size[r]), float64(ways[r]), float64(block[r])},
+				numeric: true,
 			}
-			return v
 		}
-		return axisReader{
-			id: func(r int) uint32 { return col.idx[r] },
-			value: func(r int) axisValue {
-				return axisValue{str: render(col.value(r))}
-			},
+	default:
+		col := s.strs[axis]
+		return func(r int) axisValue {
+			v := col.value(r)
+			if axis == "policy" && v == "" {
+				v = "none"
+			}
+			return axisValue{str: v}
 		}
 	}
 }
@@ -367,10 +437,11 @@ func (st *queryState) finalize() *Result {
 	}
 	sort.Slice(groups, func(i, j int) bool { return lessParts(groups[i].parts, groups[j].parts) })
 	res := &Result{Rows: st.rows, Matched: st.matched, Groups: make([]Group, len(groups))}
+	var sc sortScratch
 	for gi, g := range groups {
 		out := Group{Key: g.key, Cells: g.cells, Aggregates: make([]Aggregate, len(st.spec.Metrics))}
 		for mi, name := range st.spec.Metrics {
-			out.Aggregates[mi] = aggregate(name, g.vals[mi])
+			out.Aggregates[mi] = aggregate(name, g.vals[mi], &sc)
 		}
 		res.Groups[gi] = out
 	}
@@ -380,12 +451,12 @@ func (st *queryState) finalize() *Result {
 // aggregate summarizes one sorted sample. Summing the sorted sample
 // (not the scan-order one) is what pins the mean's float rounding to a
 // row-order-independent value.
-func aggregate(metric string, vals []float64) Aggregate {
+func aggregate(metric string, vals []float64, sc *sortScratch) Aggregate {
 	a := Aggregate{Metric: metric, Count: len(vals)}
 	if len(vals) == 0 {
 		return a
 	}
-	sort.Float64s(vals)
+	sc.sortFloats(vals)
 	sum := 0.0
 	for _, v := range vals {
 		sum += v
@@ -397,6 +468,81 @@ func aggregate(metric string, vals []float64) Aggregate {
 	a.P90 = stats.QuantileSorted(vals, 0.90)
 	a.P99 = stats.QuantileSorted(vals, 0.99)
 	return a
+}
+
+// sortScratch holds the radix buffers finalize reuses across every
+// group×metric sample it aggregates.
+type sortScratch struct {
+	keys, buf []uint64
+}
+
+// sortFloats sorts vals ascending with exactly sort.Float64s's result.
+// The hot path is an LSD radix sort over the monotone uint64 image of
+// float64 — linear instead of comparison-bound on the large samples a
+// million-row group-by produces, and passes whose byte is constant
+// across the sample (most of them, for metrics confined to a narrow
+// range) are skipped outright. NaN (ordered first by sort.Float64s,
+// split around the numbers by the radix image) and negative zero
+// (interchangeable with +0 under comparison, a distinct bit pattern
+// under radix) would not reproduce sort.Float64s bit-for-bit, so any
+// occurrence falls back to it; tiny samples do too, where the
+// transform overhead exceeds what linearity saves.
+func (sc *sortScratch) sortFloats(vals []float64) {
+	if len(vals) < 128 {
+		sort.Float64s(vals)
+		return
+	}
+	for _, v := range vals {
+		if math.IsNaN(v) || (v == 0 && math.Signbit(v)) {
+			sort.Float64s(vals)
+			return
+		}
+	}
+	if cap(sc.keys) < len(vals) {
+		sc.keys = make([]uint64, len(vals))
+		sc.buf = make([]uint64, len(vals))
+	}
+	keys, buf := sc.keys[:len(vals)], sc.buf[:len(vals)]
+	for i, v := range vals {
+		b := math.Float64bits(v)
+		if b>>63 != 0 {
+			b = ^b
+		} else {
+			b |= 1 << 63
+		}
+		keys[i] = b
+	}
+	var count [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range keys {
+			count[byte(k>>shift)]++
+		}
+		if count[byte(keys[0]>>shift)] == len(keys) {
+			continue // every key shares this byte
+		}
+		pos := 0
+		for i, c := range count {
+			count[i] = pos
+			pos += c
+		}
+		for _, k := range keys {
+			c := byte(k >> shift)
+			buf[count[c]] = k
+			count[c]++
+		}
+		keys, buf = buf, keys
+	}
+	for i, k := range keys {
+		if k>>63 != 0 {
+			k &^= 1 << 63
+		} else {
+			k = ^k
+		}
+		vals[i] = math.Float64frombits(k)
+	}
 }
 
 // lessParts compares group coordinates axis by axis: numeric axes by

@@ -81,6 +81,22 @@ func DefaultMix() []Endpoint {
 	}
 }
 
+// ExtendedMix is DefaultMix plus the two newest endpoints: a small
+// GET /v1/fleet population sweep (interactive-tier, cache-friendly)
+// and a POST /v1/query aggregation whose inline sweep is batch-shaped
+// on first sight and cached after. It is a separate constructor, not a
+// change to DefaultMix, so existing snapshots replay the exact request
+// stream they always did; runs that want the fleet and query latencies
+// in the picture opt in via vccmin-loadgen's -mix flag.
+func ExtendedMix() []Endpoint {
+	return append(DefaultMix(),
+		Endpoint{Name: "fleet", Weight: 1, Method: "GET",
+			Path: "/v1/fleet?dies=64&schemes=block&seed=1"},
+		Endpoint{Name: "query", Weight: 1, Method: "POST", Path: "/v1/query",
+			Body: `{"sweep":{"pfails":[0.001],"schemes":["block"],"benchmarks":["crafty"],"trials":1,"instructions":3000},"group_by":["scheme"],"metrics":["expected_capacity","mean_ipc"]}`},
+	)
+}
+
 // EndpointReport is one endpoint's slice of the run.
 type EndpointReport struct {
 	Name        string       `json:"name"`

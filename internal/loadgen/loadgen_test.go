@@ -210,3 +210,32 @@ func TestBenchFormatRoundTrips(t *testing.T) {
 		}
 	}
 }
+
+// TestExtendedMixExtendsDefault pins the compatibility contract: the
+// extended mix is the default mix verbatim plus the fleet and query
+// endpoints — DefaultMix itself never changes shape under it, so
+// snapshots recorded against the default replay identical streams.
+func TestExtendedMixExtendsDefault(t *testing.T) {
+	def, ext := DefaultMix(), ExtendedMix()
+	if len(ext) != len(def)+2 {
+		t.Fatalf("extended mix has %d endpoints, want default %d + 2", len(ext), len(def))
+	}
+	for i, e := range def {
+		if ext[i] != e {
+			t.Fatalf("extended mix entry %d (%s) differs from the default mix", i, e.Name)
+		}
+	}
+	names := map[string]bool{}
+	for _, e := range ext {
+		if names[e.Name] {
+			t.Fatalf("duplicate endpoint name %q", e.Name)
+		}
+		names[e.Name] = true
+		if e.Weight <= 0 || e.Method == "" || !strings.HasPrefix(e.Path, "/v1/") {
+			t.Fatalf("malformed endpoint %+v", e)
+		}
+	}
+	if !names["fleet"] || !names["query"] {
+		t.Fatal("extended mix must carry the fleet and query endpoints")
+	}
+}

@@ -7,20 +7,20 @@ import (
 )
 
 // BenchmarkFleetDieVccmin measures one die end to end: multiplier +
-// fault-population draw, then bisecting the Vcc-min grid step under the
-// two default schemes. This is the fleet sweep's unit of work.
+// fault-population draw, then resolving the Vcc-min grid step under
+// the two default schemes in one incremental grid walk. This is the
+// fleet sweep's unit of work.
 func BenchmarkFleetDieVccmin(b *testing.B) {
 	spec := FleetSpec{Seed: 7}.WithDefaults()
 	grid := spec.Grid()
 	p := newProber(spec)
+	steps := make([]int, len(spec.Schemes))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := i % 1024
 		p.draw(d)
-		for _, scheme := range spec.Schemes {
-			_ = p.stepAt(scheme, grid)
-		}
+		p.gridSteps(grid, steps)
 	}
 }
 

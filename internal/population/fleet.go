@@ -80,8 +80,8 @@ type FleetResult struct {
 const fleetChunk = 64
 
 // RunFleet measures every die of the fleet: each die draws its latent
-// fault population from its own derived seed and bisects its Vcc-min
-// grid step under every spec scheme. Dies fan out over spec.Workers
+// fault population from its own derived seed and resolves its Vcc-min
+// grid step under every spec scheme in one incremental grid walk. Dies fan out over spec.Workers
 // goroutines into die-indexed slots and are reduced serially, so the
 // result is bit-identical at every worker count (the PR 3 Monte Carlo
 // executor's contract). The spec is defaulted and validated here, so
@@ -93,6 +93,11 @@ func RunFleet(spec FleetSpec) (*FleetResult, error) {
 	}
 	grid := spec.Grid()
 	dies := make([]DieResult, spec.Dies)
+	// One backing array for every die's Steps slice: slot d owns
+	// [d*nS, (d+1)*nS), disjoint across workers, so the fan-out stays
+	// race-free and the per-die allocation disappears.
+	nS := len(spec.Schemes)
+	stepsBacking := make([]int, spec.Dies*nS)
 	workers := defaultWorkers(spec.Workers)
 	if workers > spec.Dies {
 		workers = spec.Dies
@@ -116,18 +121,16 @@ func RunFleet(spec FleetSpec) (*FleetResult, error) {
 				for d := start; d < end; d++ {
 					p.draw(d)
 					x, y := spec.DiePosition(d % spec.DiesPerWafer)
-					row := DieResult{
+					steps := stepsBacking[d*nS : (d+1)*nS : (d+1)*nS]
+					p.gridSteps(grid, steps)
+					dies[d] = DieResult{
 						Die:        d,
 						Wafer:      d / spec.DiesPerWafer,
 						X:          x,
 						Y:          y,
 						Multiplier: p.mult,
-						Steps:      make([]int, len(spec.Schemes)),
+						Steps:      steps,
 					}
-					for k, scheme := range spec.Schemes {
-						row.Steps[k] = p.stepAt(scheme, grid)
-					}
-					dies[d] = row
 				}
 			}
 		}()

@@ -150,14 +150,18 @@ func RunPredict(spec PredictSpec) (*PredictResult, error) {
 // estimateAndTruth measures the drawn die once: the K-measurement
 // estimate and the deep ground truth come from the same bisection
 // trajectory, so the estimate's bracket always contains the truth and
-// |est - truth| <= span/2^(K+1).
+// |est - truth| <= span/2^(K+1). One incremental walk resolves the
+// scheme's critical fault count, after which every simulated
+// measurement is an O(1) severity comparison instead of a fault-map
+// rebuild.
 func (p *prober) estimateAndTruth(scheme sim.Scheme, k int) (est, truth float64) {
+	c := p.criticalCount(scheme)
 	lo, hi := p.spec.Model.VFloor, p.spec.Model.VccMin
-	if !p.passAt(scheme, hi) {
+	if !p.passAtCount(c, hi) {
 		// Unusable even at nominal: both report the top of the range.
 		return hi, hi
 	}
-	if p.passAt(scheme, lo) {
+	if p.passAtCount(c, lo) {
 		return lo, lo
 	}
 	est = math.NaN()
@@ -166,7 +170,7 @@ func (p *prober) estimateAndTruth(scheme sim.Scheme, k int) (est, truth float64)
 			est = (lo + hi) / 2
 		}
 		mid := (lo + hi) / 2
-		if p.passAt(scheme, mid) {
+		if p.passAtCount(c, mid) {
 			hi = mid
 		} else {
 			lo = mid
